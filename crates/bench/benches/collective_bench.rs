@@ -1,0 +1,57 @@
+//! Criterion benchmarks for the collective-communication algorithms: symbolic
+//! correctness simulation and cost evaluation at increasing group sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use infinitehbd::collective::{BinaryExchangeSim, RingAllReduceSim};
+use infinitehbd::prelude::*;
+
+fn bench_ring_allreduce_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_allreduce_symbolic");
+    for ranks in [8usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                let mut sim = RingAllReduceSim::new(ranks);
+                sim.run();
+                black_box(sim.is_complete())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_binary_exchange_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binary_exchange_symbolic");
+    for ranks in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                let mut sim = BinaryExchangeSim::new(ranks);
+                sim.run();
+                black_box(sim.is_complete())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_alltoall_costing(c: &mut Criterion) {
+    let link = AlphaBeta::hbd_default();
+    c.bench_function("alltoall_cost_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for p in [8usize, 64, 512] {
+                for algo in AllToAllAlgorithm::ALL {
+                    total += algo.cost(p, Bytes(4e6), &link, Seconds(70e-6)).cost.time.value();
+                }
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ring_allreduce_sim,
+    bench_binary_exchange_sim,
+    bench_alltoall_costing
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benchmarks for the analytical LLM training simulator: single
+//! estimates and full strategy searches.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use infinitehbd::prelude::*;
+
+fn bench_single_estimate(c: &mut Criterion) {
+    let sim = TrainingSimulator::paper_defaults();
+    let model = ModelConfig::llama31_405b();
+    let strategy = ParallelismStrategy::new(32, 8, 32);
+    c.bench_function("mfu_estimate_llama405b", |b| {
+        b.iter(|| black_box(sim.estimate(&model, &strategy).unwrap().mfu))
+    });
+}
+
+fn bench_strategy_search(c: &mut Criterion) {
+    let search = StrategySearch::paper_defaults();
+    let mut group = c.benchmark_group("strategy_search_llama405b");
+    group.sample_size(20);
+    for gpus in [1024usize, 16384, 131072] {
+        group.bench_with_input(BenchmarkId::from_parameter(gpus), &gpus, |b, &gpus| {
+            let model = ModelConfig::llama31_405b();
+            b.iter(|| black_box(search.optimal(&model, gpus).unwrap().mfu))
+        });
+    }
+    group.finish();
+}
+
+fn bench_moe_search(c: &mut Criterion) {
+    let search = StrategySearch::paper_defaults();
+    let model = ModelConfig::gpt_moe_1t();
+    let mut group = c.benchmark_group("strategy_search_gpt_moe");
+    group.sample_size(20);
+    group.bench_function("8192_gpus", |b| {
+        b.iter(|| black_box(search.optimal(&model, 8192).unwrap().mfu))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_estimate, bench_strategy_search, bench_moe_search);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benchmarks for the HBD-DCN orchestration algorithms (the paper's
+//! complexity claim is O(n log n) for the Fat-Tree orchestration).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use infinitehbd::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_orchestration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fat_tree_orchestration");
+    group.sample_size(20);
+    for nodes in [512usize, 2048, 8192] {
+        let tree = FatTree::new(nodes, 16, 8).unwrap();
+        let orch = FatTreeOrchestrator::new(tree).unwrap();
+        let faults = FaultSet::from_nodes(
+            IidFaultModel::new(nodes, 0.05).sample_exact(&mut StdRng::seed_from_u64(1)),
+        );
+        let request = OrchestrationRequest {
+            job_nodes: nodes * 85 / 100 / 8 * 8,
+            nodes_per_group: 8,
+            k: 2,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| black_box(orch.orchestrate(&request, &faults).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy_baseline(c: &mut Criterion) {
+    c.bench_function("greedy_placement_2048_nodes", |b| {
+        let faults = FaultSet::from_nodes(
+            IidFaultModel::new(2048, 0.05).sample_exact(&mut StdRng::seed_from_u64(2)),
+        );
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(greedy_placement(2048, &faults, 8, 1740, &mut rng).len())
+        })
+    });
+}
+
+fn bench_cross_tor_accounting(c: &mut Criterion) {
+    let tree = FatTree::new(2048, 16, 8).unwrap();
+    let orch = FatTreeOrchestrator::new(tree.clone()).unwrap();
+    let faults = FaultSet::from_nodes(
+        IidFaultModel::new(2048, 0.05).sample_exact(&mut StdRng::seed_from_u64(4)),
+    );
+    let request = OrchestrationRequest {
+        job_nodes: 1740,
+        nodes_per_group: 8,
+        k: 2,
+    };
+    let placement = orch.orchestrate(&request, &faults).unwrap();
+    c.bench_function("cross_tor_rate_2048_nodes", |b| {
+        b.iter(|| black_box(cross_tor_rate(&placement, &tree, &TrafficModel::paper_tp32())))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_orchestration,
+    bench_greedy_baseline,
+    bench_cross_tor_accounting
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmarks for the cluster fault-resilience pipeline: utilization
+//! reports across architectures and full trace replays.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use infinitehbd::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_utilization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("utilization_tp32_5pct_faults");
+    let faults = FaultSet::from_nodes(
+        IidFaultModel::new(720, 0.05).sample_exact(&mut StdRng::seed_from_u64(1)),
+    );
+    for arch in paper_architectures(720, 4, 32) {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(arch.name().to_string()),
+            &arch,
+            |b, arch| b.iter(|| black_box(arch.utilization(&faults, 32).waste_ratio())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_trace_replay(c: &mut Criterion) {
+    let generator = TraceGenerator::new(GeneratorConfig {
+        nodes: 720,
+        duration: Seconds::from_days(348.0),
+        steady_state_fault_ratio: 0.0117,
+        mean_time_to_repair: Seconds::from_hours(12.0),
+    })
+    .unwrap();
+    let trace = generator.generate(&mut StdRng::seed_from_u64(2));
+    let ring = KHopRing::new(720, 4, 3).unwrap();
+    c.bench_function("waste_over_trace_348_samples", |b| {
+        b.iter(|| black_box(waste_over_trace(&ring, &trace, 32, 348).len()))
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let generator = TraceGenerator::new(GeneratorConfig::paper_8gpu_cluster()).unwrap();
+    c.bench_function("trace_generation_400_nodes_348_days", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(generator.generate(&mut rng).len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_utilization, bench_trace_replay, bench_trace_generation);
+criterion_main!(benches);

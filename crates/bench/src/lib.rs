@@ -1,0 +1,108 @@
+//! Shared helpers for the experiment harness binaries.
+//!
+//! Every binary regenerates one table or figure of the paper's evaluation and
+//! prints it both as a human-readable table and (with `--json`) as a JSON
+//! document, so EXPERIMENTS.md can be refreshed mechanically.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parses the common CLI flags of the harness binaries: `--seed <u64>` and
+/// `--json`.
+pub struct HarnessArgs {
+    /// RNG seed used by every stochastic experiment.
+    pub seed: u64,
+    /// Emit machine-readable JSON instead of the plain-text table.
+    pub json: bool,
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args()`.
+    pub fn parse() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut seed = 42u64;
+        let mut json = false;
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--seed" => {
+                    if let Some(value) = args.get(i + 1) {
+                        seed = value.parse().unwrap_or(42);
+                        i += 1;
+                    }
+                }
+                "--json" => json = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        HarnessArgs { seed, json }
+    }
+
+    /// A seeded RNG for the experiment.
+    pub fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+}
+
+/// Prints a named series as aligned columns.
+pub fn print_series(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("== {title} ==");
+    println!("{}", header.iter().map(|h| format!("{h:>16}")).collect::<Vec<_>>().join(" "));
+    for row in rows {
+        println!(
+            "{}",
+            row.iter().map(|c| format!("{c:>16}")).collect::<Vec<_>>().join(" ")
+        );
+    }
+    println!();
+}
+
+/// Serialises rows to a JSON document on stdout.
+pub fn print_json(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    let records: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|row| {
+            let map: serde_json::Map<String, serde_json::Value> = header
+                .iter()
+                .zip(row.iter())
+                .map(|(k, v)| ((*k).to_string(), serde_json::Value::String(v.clone())))
+                .collect();
+            serde_json::Value::Object(map)
+        })
+        .collect();
+    let doc = serde_json::json!({ "experiment": title, "rows": records });
+    println!("{}", serde_json::to_string_pretty(&doc).expect("serialisable"));
+}
+
+/// Dispatches between the plain-text and JSON output paths.
+pub fn emit(args: &HarnessArgs, title: &str, header: &[&str], rows: &[Vec<String>]) {
+    if args.json {
+        print_json(title, header, rows);
+    } else {
+        print_series(title, header, rows);
+    }
+}
+
+/// Formats a float with the given number of decimals.
+pub fn fmt(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_rounds_to_requested_precision() {
+        assert_eq!(fmt(3.14159, 2), "3.14");
+        assert_eq!(fmt(0.5236, 4), "0.5236");
+    }
+
+    #[test]
+    fn default_args_without_cli() {
+        let args = HarnessArgs { seed: 7, json: false };
+        let _ = args.rng();
+        assert_eq!(args.seed, 7);
+    }
+}

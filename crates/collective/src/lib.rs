@@ -1,0 +1,38 @@
+//! Collective-communication algorithms and cost models.
+//!
+//! InfiniteHBD is optimised for **Ring-AllReduce** (the bandwidth-optimal
+//! AllReduce on a ring, used by TP), and Appendix G explores how the topology
+//! could also serve **AllToAll** (used by EP) through the Binary Exchange
+//! algorithm enabled by the OCSTrx fast-switch mechanism. This crate provides:
+//!
+//! * [`cost_model`] — the classic α–β (latency–bandwidth) cost model used to
+//!   price every collective,
+//! * [`ring_allreduce`] — step structure, timing and bandwidth utilisation of
+//!   the ring algorithm (the §5.2 mini-cluster comparison),
+//! * [`alltoall`] — the AllToAll family: naive ring exchange (O(p²)), pairwise
+//!   exchange, Bruck, and the Binary Exchange algorithm of Appendix G
+//!   (O(p·log p) volume, no node-level loopback required),
+//! * [`simulate`] — symbolic execution of the collectives (who holds which data
+//!   block after every step), so property tests can verify correctness rather
+//!   than trusting the closed-form formulas,
+//! * [`hierarchical`] — Reduce-Scatter / All-Gather and the two-level
+//!   (intra-node + inter-node) AllReduce used on multi-GPU nodes,
+//! * [`fast_switch`] — Binary Exchange timed with the OCSTrx fast-switch
+//!   reconfiguration (exposed or overlapped with compute).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alltoall;
+pub mod cost_model;
+pub mod fast_switch;
+pub mod hierarchical;
+pub mod ring_allreduce;
+pub mod simulate;
+
+pub use alltoall::{AllToAllAlgorithm, AllToAllCost};
+pub use cost_model::{AlphaBeta, CollectiveCost};
+pub use fast_switch::{FastSwitchAllToAll, FastSwitchCost, ReconfigOverlap};
+pub use hierarchical::{AllGather, HierarchicalAllReduce, ReduceScatter};
+pub use ring_allreduce::{RingAllReduce, RingUtilization};
+pub use simulate::{BinaryExchangeSim, RingAllReduceSim};

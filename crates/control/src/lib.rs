@@ -1,0 +1,40 @@
+//! The InfiniteHBD **control plane** (§5.2 of the paper).
+//!
+//! The paper's prototype includes two control components that the evaluation
+//! sections rely on but do not describe in depth:
+//!
+//! * a **node fabric manager** on every server, which configures the node's
+//!   OCSTrx bundles and executes topology-switch commands, and
+//! * a **cluster manager**, which coordinates global control: it observes node
+//!   faults and repairs, recomputes the ring plan for the K-Hop Ring, and
+//!   issues the minimal set of reconfiguration commands to the affected fabric
+//!   managers.
+//!
+//! This crate implements both, together with the *failover planner* that turns
+//! a fault pattern into per-node bundle directives, and an event timeline that
+//! records every control action with its latency so recovery time can be
+//! studied quantitatively (fault detected → plan computed → OCSTrx
+//! reconfigured → ring restored).
+//!
+//! The crate builds directly on [`ocstrx`] (bundle/path state machines and
+//! their 60–80 µs reconfiguration latency) and on [`topology::KHopRing`] (which
+//! healthy segments survive a fault pattern), so a property test can assert
+//! that the control plane's ring plans realise exactly the segments the
+//! topology layer predicts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fabric;
+pub mod failover;
+pub mod manager;
+pub mod plan;
+pub mod timeline;
+pub mod wiring;
+
+pub use fabric::FabricManager;
+pub use failover::FailoverPlanner;
+pub use manager::{ClusterManager, ControlLatencies, RecoveryReport};
+pub use plan::{BundleAction, NodeDirective, PortDirective, RingPlan};
+pub use timeline::{ControlEvent, ControlEventKind, Timeline};
+pub use wiring::{FabricPort, Wiring};

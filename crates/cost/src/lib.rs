@@ -1,0 +1,24 @@
+//! Interconnect cost and power analysis (§6.5, Table 6, Table 8, Fig 17d).
+//!
+//! The paper reduces the cost comparison to a bill of materials per
+//! architecture (Appendix F, Table 8) and two derived views:
+//!
+//! * **Table 6** — interconnect cost and power normalised per GPU and per GBps
+//!   of per-GPU HBD bandwidth,
+//! * **Fig 17d** — the *aggregate cost* under faults:
+//!   `Cost_GPU · (N_wasted + N_faulty) + Cost_interconnect`, which shows how an
+//!   architecture's fault resilience feeds back into its economics.
+//!
+//! All prices and power figures are the ones published in Table 8 (sourced by
+//! the authors from public retailers and teardown reports).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod bom;
+pub mod components;
+
+pub use analysis::{aggregate_cost, normalized_aggregate_cost, AggregateCostInput, NormalizedCost};
+pub use bom::{ArchitectureBom, BomLine};
+pub use components::{Component, ComponentKind};

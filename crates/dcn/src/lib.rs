@@ -1,0 +1,39 @@
+//! A flow-level simulator of the **Datacenter Network (DCN)** that carries the
+//! DP / CP / PP / SP traffic of an LLM training job.
+//!
+//! §4.3 and §6.4 of the paper argue that the *placement* of TP groups inside
+//! InfiniteHBD determines where the DP traffic lands in the DCN: a bad
+//! placement forces DP pairs across ToR switches, the oversubscribed ToR
+//! uplinks congest, and the exposed DP AllReduce time grows. The orchestrator
+//! crate quantifies this with a traffic-counting metric (the cross-ToR rate of
+//! Fig. 17); this crate goes one level deeper and simulates the traffic at flow
+//! granularity:
+//!
+//! 1. [`network::DcnNetwork`] builds the two-tier Fat-Tree link plant
+//!    (node↔ToR access links, ToR↔Aggregation uplinks with a configurable
+//!    oversubscription ratio),
+//! 2. [`traffic`] expands a [`orchestrator::PlacementScheme`] into the DP-ring
+//!    flows it induces,
+//! 3. [`network::DcnNetwork::route`] picks ECMP paths,
+//! 4. [`maxmin`] computes the max-min fair rate allocation of all concurrent
+//!    flows, and
+//! 5. [`simulator::FlowSimulation`] reports completion times, link
+//!    utilisation, and the slowdown relative to an uncongested network.
+//!
+//! The result is an end-to-end ablation path: orchestration quality → cross-ToR
+//! flows → congestion → exposed DP time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flow;
+pub mod maxmin;
+pub mod network;
+pub mod simulator;
+pub mod traffic;
+
+pub use flow::{Flow, Route};
+pub use maxmin::max_min_rates;
+pub use network::{DcnLink, DcnNetwork, LinkKind, NetworkParams};
+pub use simulator::{CongestionReport, FlowSimulation};
+pub use traffic::{dp_ring_flows, TrafficSpec};

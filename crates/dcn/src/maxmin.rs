@@ -1,0 +1,147 @@
+//! Max-min fair rate allocation (progressive filling / water-filling).
+//!
+//! Given a set of flows, each pinned to the links of its route, the allocation
+//! repeatedly finds the most constrained link (smallest equal share for its
+//! unfrozen flows), grants that share to every unfrozen flow through it, and
+//! freezes them. The result is the classic max-min fair allocation that
+//! flow-level models of TCP-like transport converge to, and it is what turns
+//! "how many DP pairs cross a ToR" into "how slow does the DP AllReduce get".
+
+use hbd_types::GBps;
+
+/// Computes max-min fair rates.
+///
+/// * `capacities[l]` — capacity of link `l`.
+/// * `flow_links[f]` — the links flow `f` traverses (may be empty for local
+///   flows, which are then unconstrained and reported as `f64::INFINITY`).
+///
+/// Returns one rate per flow, in the same order.
+pub fn max_min_rates(capacities: &[GBps], flow_links: &[Vec<usize>]) -> Vec<GBps> {
+    let mut remaining: Vec<f64> = capacities.iter().map(|c| c.value()).collect();
+    let mut rates = vec![f64::INFINITY; flow_links.len()];
+    let mut frozen = vec![false; flow_links.len()];
+
+    // Local flows (no links) stay at infinity; everything else starts active.
+    let mut active: Vec<usize> = flow_links
+        .iter()
+        .enumerate()
+        .filter(|(_, links)| !links.is_empty())
+        .map(|(f, _)| f)
+        .collect();
+
+    while !active.is_empty() {
+        // Count active flows per link.
+        let mut users = vec![0usize; remaining.len()];
+        for &f in &active {
+            for &l in &flow_links[f] {
+                users[l] += 1;
+            }
+        }
+        // Bottleneck link: smallest fair share among links with active users.
+        let mut bottleneck: Option<(usize, f64)> = None;
+        for (l, &count) in users.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let share = (remaining[l] / count as f64).max(0.0);
+            if bottleneck.map(|(_, s)| share < s).unwrap_or(true) {
+                bottleneck = Some((l, share));
+            }
+        }
+        let Some((bottleneck_link, share)) = bottleneck else {
+            break;
+        };
+        // Freeze every active flow through the bottleneck at the fair share and
+        // debit its links.
+        let newly_frozen: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|&f| flow_links[f].contains(&bottleneck_link))
+            .collect();
+        for &f in &newly_frozen {
+            rates[f] = share;
+            frozen[f] = true;
+            for &l in &flow_links[f] {
+                remaining[l] = (remaining[l] - share).max(0.0);
+            }
+        }
+        active.retain(|&f| !frozen[f]);
+    }
+    rates.into_iter().map(GBps).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gbps(values: &[f64]) -> Vec<GBps> {
+        values.iter().copied().map(GBps).collect()
+    }
+
+    #[test]
+    fn single_link_is_shared_equally() {
+        let rates = max_min_rates(&gbps(&[100.0]), &[vec![0], vec![0], vec![0], vec![0]]);
+        for r in rates {
+            assert!((r.value() - 25.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn flows_not_sharing_links_get_full_capacity() {
+        let rates = max_min_rates(&gbps(&[100.0, 40.0]), &[vec![0], vec![1]]);
+        assert!((rates[0].value() - 100.0).abs() < 1e-9);
+        assert!((rates[1].value() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_max_min_example() {
+        // Three flows, two links of capacity 10:
+        //   f0 uses both links, f1 uses link 0, f2 uses link 1.
+        // Both links carry two flows, so everyone converges to the equal share
+        // of 5 and both links end up exactly full.
+        let rates = max_min_rates(&gbps(&[10.0, 10.0]), &[vec![0, 1], vec![0], vec![1]]);
+        assert!((rates[0].value() - 5.0).abs() < 1e-9);
+        assert!((rates[1].value() - 5.0).abs() < 1e-9);
+        assert!((rates[2].value() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asymmetric_bottlenecks_fill_progressively() {
+        // f0 shares link 0 (cap 10) with f1; f1 also crosses link 1 (cap 4).
+        // Link 1 freezes f1 at 4 first, leaving 6 for f0 on link 0.
+        let rates = max_min_rates(&gbps(&[10.0, 4.0]), &[vec![0], vec![0, 1]]);
+        assert!((rates[1].value() - 4.0).abs() < 1e-9);
+        assert!((rates[0].value() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_flows_are_unconstrained() {
+        let rates = max_min_rates(&gbps(&[10.0]), &[vec![], vec![0]]);
+        assert!(rates[0].value().is_infinite());
+        assert!((rates[1].value() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_output() {
+        assert!(max_min_rates(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn allocation_never_exceeds_any_link_capacity() {
+        // Randomised-ish structured check without a rand dependency.
+        let capacities = gbps(&[7.0, 13.0, 5.0, 20.0]);
+        let flows: Vec<Vec<usize>> = (0..12)
+            .map(|f| (0..4).filter(|l| (f + l) % 3 != 0).collect())
+            .collect();
+        let rates = max_min_rates(&capacities, &flows);
+        for (l, cap) in capacities.iter().enumerate() {
+            let load: f64 = flows
+                .iter()
+                .zip(&rates)
+                .filter(|(links, _)| links.contains(&l))
+                .map(|(_, r)| r.value())
+                .sum();
+            assert!(load <= cap.value() + 1e-6, "link {l} overloaded: {load}");
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Expanding a TP placement into the DCN flows it induces.
+//!
+//! The DP dimension forms a ring over TP groups: the node holding TP rank `r`
+//! of group `g` exchanges its gradient shard with the node holding rank `r` of
+//! groups `g − 1` and `g + 1` (§4.3, Figure 6). Each direction of each pair is
+//! one flow; with Ring-AllReduce over `G` groups every pair moves
+//! `2·(G−1)/G · shard` bytes per iteration, which the [`TrafficSpec`] folds
+//! into a single per-pair volume.
+
+use crate::flow::Flow;
+use hbd_types::Bytes;
+use orchestrator::PlacementScheme;
+use serde::{Deserialize, Serialize};
+
+/// How much each DP neighbour pair exchanges per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficSpec {
+    /// Bytes exchanged (per direction) between DP-adjacent nodes per iteration.
+    pub bytes_per_dp_pair: Bytes,
+    /// Whether the DP dimension wraps around (ring) or stops at the last group
+    /// (line, as in the orchestrator's cross-ToR accounting).
+    pub dp_ring_wraps: bool,
+}
+
+impl TrafficSpec {
+    /// A DP-pair volume representative of a Llama-405B-scale job: each node
+    /// holds ~3 GiB of gradient shard after TP/PP sharding, and Ring-AllReduce
+    /// moves roughly twice that per neighbour per iteration.
+    pub fn paper_dp_allreduce() -> Self {
+        TrafficSpec {
+            bytes_per_dp_pair: Bytes::from_gib(6.0),
+            dp_ring_wraps: false,
+        }
+    }
+
+    /// Uses an explicit per-pair volume.
+    pub fn per_pair(bytes: Bytes) -> Self {
+        TrafficSpec {
+            bytes_per_dp_pair: bytes,
+            dp_ring_wraps: false,
+        }
+    }
+
+    /// Makes the DP dimension wrap into a full ring.
+    pub fn with_wraparound(mut self) -> Self {
+        self.dp_ring_wraps = true;
+        self
+    }
+}
+
+impl Default for TrafficSpec {
+    fn default() -> Self {
+        Self::paper_dp_allreduce()
+    }
+}
+
+/// The DP flows induced by a placement: one flow per direction per DP-adjacent
+/// node pair (matching ranks of adjacent TP groups).
+pub fn dp_ring_flows(scheme: &PlacementScheme, spec: &TrafficSpec) -> Vec<Flow> {
+    let groups = &scheme.groups;
+    if groups.len() < 2 {
+        return Vec::new();
+    }
+    let pairs = if spec.dp_ring_wraps {
+        groups.len()
+    } else {
+        groups.len() - 1
+    };
+    let mut flows = Vec::new();
+    for g in 0..pairs {
+        let a = &groups[g];
+        let b = &groups[(g + 1) % groups.len()];
+        for rank in 0..a.len().min(b.len()) {
+            let (na, nb) = (a.nodes[rank], b.nodes[rank]);
+            flows.push(Flow::new(na, nb, spec.bytes_per_dp_pair));
+            flows.push(Flow::new(nb, na, spec.bytes_per_dp_pair));
+        }
+    }
+    flows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbd_types::NodeId;
+    use orchestrator::TpGroup;
+
+    fn scheme(groups: &[&[usize]]) -> PlacementScheme {
+        PlacementScheme::from_groups(
+            groups
+                .iter()
+                .map(|g| TpGroup::new(g.iter().map(|&n| NodeId(n)).collect()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn adjacent_groups_exchange_per_rank_flows_in_both_directions() {
+        let scheme = scheme(&[&[0, 1], &[2, 3], &[4, 5]]);
+        let flows = dp_ring_flows(&scheme, &TrafficSpec::per_pair(Bytes::from_gib(1.0)));
+        // 2 group pairs x 2 ranks x 2 directions.
+        assert_eq!(flows.len(), 8);
+        assert!(flows.contains(&Flow::new(NodeId(0), NodeId(2), Bytes::from_gib(1.0))));
+        assert!(flows.contains(&Flow::new(NodeId(2), NodeId(0), Bytes::from_gib(1.0))));
+        assert!(flows.contains(&Flow::new(NodeId(3), NodeId(5), Bytes::from_gib(1.0))));
+        // No wraparound by default.
+        assert!(!flows.contains(&Flow::new(NodeId(4), NodeId(0), Bytes::from_gib(1.0))));
+    }
+
+    #[test]
+    fn wraparound_adds_the_closing_pairs() {
+        let scheme = scheme(&[&[0], &[1], &[2]]);
+        let spec = TrafficSpec::per_pair(Bytes(1.0)).with_wraparound();
+        let flows = dp_ring_flows(&scheme, &spec);
+        assert_eq!(flows.len(), 6);
+        assert!(flows.contains(&Flow::new(NodeId(2), NodeId(0), Bytes(1.0))));
+    }
+
+    #[test]
+    fn single_group_or_empty_scheme_produces_no_flows() {
+        assert!(dp_ring_flows(&scheme(&[&[0, 1]]), &TrafficSpec::default()).is_empty());
+        assert!(dp_ring_flows(&PlacementScheme::new(), &TrafficSpec::default()).is_empty());
+    }
+
+    #[test]
+    fn mismatched_group_sizes_pair_the_common_prefix() {
+        let scheme = scheme(&[&[0, 1, 2], &[3, 4]]);
+        let flows = dp_ring_flows(&scheme, &TrafficSpec::per_pair(Bytes(1.0)));
+        assert_eq!(flows.len(), 4);
+    }
+}

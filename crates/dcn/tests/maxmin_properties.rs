@@ -1,0 +1,69 @@
+//! Property tests for the max-min fair allocator — the numerical core of the
+//! DCN congestion model.
+
+use dcn::max_min_rates;
+use hbd_types::GBps;
+use proptest::prelude::*;
+
+fn arbitrary_scenario() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<usize>>)> {
+    // 1..8 links with capacities in [1, 1000] GBps, 1..24 flows each crossing a
+    // random non-empty subset of links.
+    (1usize..8).prop_flat_map(|links| {
+        let caps = proptest::collection::vec(1.0f64..1000.0, links);
+        let flows = proptest::collection::vec(
+            proptest::collection::btree_set(0usize..links, 1..=links),
+            1..24,
+        )
+        .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect());
+        (caps, flows)
+    })
+}
+
+proptest! {
+    /// No link is ever allocated beyond its capacity.
+    #[test]
+    fn allocation_respects_capacities((caps, flows) in arbitrary_scenario()) {
+        let rates = max_min_rates(&caps.iter().copied().map(GBps).collect::<Vec<_>>(), &flows);
+        for (l, cap) in caps.iter().enumerate() {
+            let load: f64 = flows
+                .iter()
+                .zip(&rates)
+                .filter(|(links, _)| links.contains(&l))
+                .map(|(_, r)| r.value())
+                .sum();
+            prop_assert!(load <= cap + 1e-6, "link {l}: load {load} > cap {cap}");
+        }
+    }
+
+    /// Every flow gets a positive, finite rate (all capacities are positive and
+    /// every flow traverses at least one link).
+    #[test]
+    fn every_flow_gets_a_positive_rate((caps, flows) in arbitrary_scenario()) {
+        let rates = max_min_rates(&caps.iter().copied().map(GBps).collect::<Vec<_>>(), &flows);
+        prop_assert_eq!(rates.len(), flows.len());
+        for rate in &rates {
+            prop_assert!(rate.value() > 0.0);
+            prop_assert!(rate.value().is_finite());
+        }
+    }
+
+    /// Max-min optimality (bottleneck condition): every flow traverses at least
+    /// one saturated link, so no flow could be increased without decreasing a
+    /// flow with an equal-or-smaller rate.
+    #[test]
+    fn every_flow_has_a_saturated_link((caps, flows) in arbitrary_scenario()) {
+        let rates = max_min_rates(&caps.iter().copied().map(GBps).collect::<Vec<_>>(), &flows);
+        let mut load = vec![0.0f64; caps.len()];
+        for (links, rate) in flows.iter().zip(&rates) {
+            for &l in links {
+                load[l] += rate.value();
+            }
+        }
+        for (f, links) in flows.iter().enumerate() {
+            let saturated = links
+                .iter()
+                .any(|&l| load[l] >= caps[l] * (1.0 - 1e-6) - 1e-6);
+            prop_assert!(saturated, "flow {f} has headroom on every link it uses");
+        }
+    }
+}

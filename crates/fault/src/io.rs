@@ -1,0 +1,184 @@
+//! Serialisation of fault traces.
+//!
+//! The paper open-sources its 348-day production trace as a flat table of
+//! fault events (faulty node id, fault start, fault end). This module
+//! reads and writes that format as CSV — one event per line, with the cluster
+//! size and observation window carried in comment headers — plus JSON via
+//! `serde` for programmatic exchange, so externally collected traces can be
+//! replayed through every fault-resilience experiment.
+
+use crate::event::FaultEvent;
+use crate::trace::FaultTrace;
+use hbd_types::{HbdError, NodeId, Result, Seconds};
+
+/// The CSV column header line.
+pub const CSV_HEADER: &str = "node,fault_start_s,fault_end_s";
+
+/// Serialises a trace to the open-trace CSV format.
+///
+/// The cluster size and observation window are emitted as `#`-prefixed
+/// comment lines so the file round-trips without an external manifest.
+pub fn to_csv(trace: &FaultTrace) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# nodes={}\n", trace.nodes()));
+    out.push_str(&format!("# duration_s={}\n", trace.duration().value()));
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for event in trace.events() {
+        out.push_str(&format!(
+            "{},{},{}\n",
+            event.node.index(),
+            event.start.value(),
+            event.end.value()
+        ));
+    }
+    out
+}
+
+/// Parses a trace from the open-trace CSV format produced by [`to_csv`] (or a
+/// hand-written file following the same schema).
+pub fn from_csv(text: &str) -> Result<FaultTrace> {
+    let mut nodes: Option<usize> = None;
+    let mut duration: Option<f64> = None;
+    let mut events = Vec::new();
+    for (line_no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim();
+            if let Some(value) = comment.strip_prefix("nodes=") {
+                nodes = Some(parse_field(value, line_no, "nodes")? as usize);
+            } else if let Some(value) = comment.strip_prefix("duration_s=") {
+                duration = Some(parse_field(value, line_no, "duration_s")?);
+            }
+            continue;
+        }
+        if line == CSV_HEADER {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let node = fields
+            .next()
+            .ok_or_else(|| bad_line(line_no, "missing node column"))?;
+        let start = fields
+            .next()
+            .ok_or_else(|| bad_line(line_no, "missing fault_start_s column"))?;
+        let end = fields
+            .next()
+            .ok_or_else(|| bad_line(line_no, "missing fault_end_s column"))?;
+        if fields.next().is_some() {
+            return Err(bad_line(line_no, "too many columns"));
+        }
+        let node = parse_field(node, line_no, "node")? as usize;
+        let start = parse_field(start, line_no, "fault_start_s")?;
+        let end = parse_field(end, line_no, "fault_end_s")?;
+        events.push(FaultEvent::new(NodeId(node), Seconds(start), Seconds(end)));
+    }
+    let nodes = nodes.ok_or_else(|| {
+        HbdError::invalid_config("trace CSV is missing the '# nodes=' header")
+    })?;
+    let duration = duration.ok_or_else(|| {
+        HbdError::invalid_config("trace CSV is missing the '# duration_s=' header")
+    })?;
+    FaultTrace::new(nodes, Seconds(duration), events)
+}
+
+/// Serialises a trace to pretty-printed JSON.
+pub fn to_json(trace: &FaultTrace) -> Result<String> {
+    serde_json::to_string_pretty(trace)
+        .map_err(|e| HbdError::invalid_operation(format!("JSON serialisation failed: {e}")))
+}
+
+/// Parses a trace from JSON produced by [`to_json`].
+pub fn from_json(text: &str) -> Result<FaultTrace> {
+    serde_json::from_str(text)
+        .map_err(|e| HbdError::invalid_config(format!("invalid trace JSON: {e}")))
+}
+
+fn parse_field(value: &str, line_no: usize, name: &str) -> Result<f64> {
+    value.trim().parse::<f64>().map_err(|_| {
+        HbdError::invalid_config(format!(
+            "line {}: cannot parse {name} from {value:?}",
+            line_no + 1
+        ))
+    })
+}
+
+fn bad_line(line_no: usize, reason: &str) -> HbdError {
+    HbdError::invalid_config(format!("line {}: {reason}", line_no + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, TraceGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_trace() -> FaultTrace {
+        FaultTrace::new(
+            8,
+            Seconds::from_days(2.0),
+            vec![
+                FaultEvent::new(NodeId(1), Seconds(100.0), Seconds(4000.0)),
+                FaultEvent::new(NodeId(5), Seconds(50_000.0), Seconds(90_000.0)),
+            ],
+        )
+        .expect("valid trace")
+    }
+
+    #[test]
+    fn csv_round_trip_preserves_the_trace() {
+        let trace = sample_trace();
+        let csv = to_csv(&trace);
+        assert!(csv.starts_with("# nodes=8\n"));
+        assert!(csv.contains(CSV_HEADER));
+        let back = from_csv(&csv).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_trace() {
+        let trace = sample_trace();
+        let back = from_json(&to_json(&trace).unwrap()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn generated_trace_round_trips_through_csv() {
+        let config = GeneratorConfig::paper_8gpu_cluster();
+        let generator = TraceGenerator::new(config).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let trace = generator.generate(&mut rng);
+        let back = from_csv(&to_csv(&trace)).unwrap();
+        assert_eq!(back.len(), trace.len());
+        assert_eq!(back.nodes(), trace.nodes());
+        // Fault ratio at a few probe points must match exactly.
+        for day in [10.0, 100.0, 300.0] {
+            let t = Seconds::from_days(day);
+            assert_eq!(back.faulty_nodes_at(t), trace.faulty_nodes_at(t));
+        }
+    }
+
+    #[test]
+    fn csv_tolerates_blank_lines_and_requires_headers() {
+        let csv = "# nodes=4\n\n# duration_s=1000\nnode,fault_start_s,fault_end_s\n2,10,20\n";
+        let trace = from_csv(csv).unwrap();
+        assert_eq!(trace.nodes(), 4);
+        assert_eq!(trace.len(), 1);
+
+        assert!(from_csv("node,fault_start_s,fault_end_s\n1,2,3\n").is_err());
+        assert!(from_csv("# nodes=4\n# duration_s=x\n").is_err());
+        assert!(from_csv("# nodes=4\n# duration_s=100\n1,2\n").is_err());
+        assert!(from_csv("# nodes=4\n# duration_s=100\n1,2,3,4\n").is_err());
+    }
+
+    #[test]
+    fn malformed_events_are_reported_with_line_numbers() {
+        let csv = "# nodes=4\n# duration_s=100\nnode,fault_start_s,fault_end_s\nabc,1,2\n";
+        let err = from_csv(csv).unwrap_err();
+        assert!(err.to_string().contains("line 4"), "{err}");
+    }
+}

@@ -1,0 +1,117 @@
+//! The i.i.d. node-fault model used for the "GPU waste ratio versus node fault
+//! ratio" sweeps (Figs 14 and 22) and the aggregate-cost sweep (Fig 17d).
+//!
+//! Unlike the trace replay, these experiments do not care about temporal
+//! dynamics: they ask "if a fraction `f` of nodes is faulty *right now*, how
+//! much capacity does each architecture lose?". The model draws fault sets
+//! either by including each node independently with probability `f`
+//! ([`IidFaultModel::sample`]) or by choosing exactly `⌊f·n⌋` faulty nodes
+//! uniformly at random ([`IidFaultModel::sample_exact`], which removes the
+//! binomial noise and is what the smooth curves of Fig 14 use).
+
+use hbd_types::NodeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Independent, identically distributed node-fault model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IidFaultModel {
+    /// Number of nodes in the cluster.
+    pub nodes: usize,
+    /// Probability that any given node is faulty.
+    pub fault_ratio: f64,
+}
+
+impl IidFaultModel {
+    /// Creates a model. The ratio is clamped to `[0, 1]`.
+    pub fn new(nodes: usize, fault_ratio: f64) -> Self {
+        IidFaultModel {
+            nodes,
+            fault_ratio: fault_ratio.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Expected number of faulty nodes.
+    pub fn expected_faulty_nodes(&self) -> f64 {
+        self.nodes as f64 * self.fault_ratio
+    }
+
+    /// Draws a fault set by including each node independently with probability
+    /// `fault_ratio`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<NodeId> {
+        (0..self.nodes)
+            .filter(|_| rng.gen::<f64>() < self.fault_ratio)
+            .map(NodeId)
+            .collect()
+    }
+
+    /// Draws a fault set with exactly `round(nodes × fault_ratio)` faulty
+    /// nodes, chosen uniformly at random without replacement.
+    pub fn sample_exact<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<NodeId> {
+        let count = (self.nodes as f64 * self.fault_ratio).round() as usize;
+        let count = count.min(self.nodes);
+        let mut all: Vec<usize> = (0..self.nodes).collect();
+        all.shuffle(rng);
+        let mut chosen: Vec<NodeId> = all.into_iter().take(count).map(NodeId).collect();
+        chosen.sort();
+        chosen
+    }
+
+    /// Probability that a run of `k` *consecutive* nodes is entirely faulty —
+    /// the quantity the Appendix-C analysis calls "fault non-locality":
+    /// consecutive multi-node failures decay exponentially with the run length.
+    pub fn consecutive_fault_probability(&self, k: u32) -> f64 {
+        self.fault_ratio.powi(k as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ratio_is_clamped() {
+        assert_eq!(IidFaultModel::new(10, -0.5).fault_ratio, 0.0);
+        assert_eq!(IidFaultModel::new(10, 1.5).fault_ratio, 1.0);
+    }
+
+    #[test]
+    fn sample_exact_returns_requested_count() {
+        let model = IidFaultModel::new(720, 0.05);
+        let mut rng = StdRng::seed_from_u64(11);
+        let faults = model.sample_exact(&mut rng);
+        assert_eq!(faults.len(), 36);
+        // Sorted and unique.
+        assert!(faults.windows(2).all(|w| w[0] < w[1]));
+        assert!(faults.iter().all(|n| n.index() < 720));
+    }
+
+    #[test]
+    fn bernoulli_sample_is_near_the_expectation() {
+        let model = IidFaultModel::new(10_000, 0.0233);
+        let mut rng = StdRng::seed_from_u64(5);
+        let faults = model.sample(&mut rng);
+        let ratio = faults.len() as f64 / 10_000.0;
+        assert!((ratio - 0.0233).abs() < 0.005, "observed ratio {ratio}");
+        assert!((model.expected_faulty_nodes() - 233.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extreme_ratios() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(IidFaultModel::new(100, 0.0).sample_exact(&mut rng).is_empty());
+        assert_eq!(IidFaultModel::new(100, 1.0).sample_exact(&mut rng).len(), 100);
+        assert!(IidFaultModel::new(100, 0.0).sample(&mut rng).is_empty());
+    }
+
+    #[test]
+    fn consecutive_fault_probability_decays_exponentially() {
+        let model = IidFaultModel::new(100, 0.05);
+        assert!((model.consecutive_fault_probability(1) - 0.05).abs() < 1e-12);
+        assert!((model.consecutive_fault_probability(2) - 0.0025).abs() < 1e-12);
+        assert!(model.consecutive_fault_probability(3) < model.consecutive_fault_probability(2));
+    }
+}

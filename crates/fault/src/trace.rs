@@ -1,0 +1,218 @@
+//! The fault trace container: a time-ordered collection of fault events over a
+//! fixed-size cluster, with the instantaneous fault-set query the cluster
+//! simulator replays (§6.2).
+
+use crate::event::FaultEvent;
+use hbd_types::{HbdError, NodeId, Result, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// A fault trace over a cluster of `nodes` nodes and `duration` of wall time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultTrace {
+    nodes: usize,
+    duration: Seconds,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultTrace {
+    /// Creates a trace, validating that every event references an in-range node
+    /// and lies within the trace duration. Events are stored sorted by start
+    /// time.
+    pub fn new(nodes: usize, duration: Seconds, mut events: Vec<FaultEvent>) -> Result<Self> {
+        if nodes == 0 {
+            return Err(HbdError::invalid_config("a trace needs at least one node"));
+        }
+        if duration.value() <= 0.0 {
+            return Err(HbdError::invalid_config("trace duration must be positive"));
+        }
+        for event in &events {
+            if event.node.index() >= nodes {
+                return Err(HbdError::unknown_entity(format!(
+                    "{} in a {nodes}-node trace",
+                    event.node
+                )));
+            }
+            if event.start.value() < 0.0 || event.end.value() > duration.value() {
+                return Err(HbdError::invalid_config(format!(
+                    "fault on {} ({} .. {}) lies outside the trace duration {duration}",
+                    event.node, event.start, event.end
+                )));
+            }
+        }
+        events.sort_by(|a, b| {
+            a.start
+                .value()
+                .partial_cmp(&b.start.value())
+                .expect("fault times are finite")
+        });
+        Ok(FaultTrace {
+            nodes,
+            duration,
+            events,
+        })
+    }
+
+    /// Number of nodes covered by the trace.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Total duration of the trace.
+    pub fn duration(&self) -> Seconds {
+        self.duration
+    }
+
+    /// All fault events, sorted by start time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of fault events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace contains no fault events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The nodes that are out of service at time `t`, in ascending order and
+    /// without duplicates (a node with overlapping fault records is reported
+    /// once).
+    pub fn faulty_nodes_at(&self, t: Seconds) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self
+            .events
+            .iter()
+            .filter(|e| e.active_at(t))
+            .map(|e| e.node)
+            .collect();
+        nodes.sort();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Instantaneous node fault ratio at time `t`.
+    pub fn fault_ratio_at(&self, t: Seconds) -> f64 {
+        self.faulty_nodes_at(t).len() as f64 / self.nodes as f64
+    }
+
+    /// Samples the trace at `samples` evenly spaced instants, returning
+    /// `(time, faulty node set)` pairs. This is the replay loop every
+    /// fault-resilience experiment uses.
+    pub fn sample(&self, samples: usize) -> Vec<(Seconds, Vec<NodeId>)> {
+        assert!(samples > 0, "need at least one sample");
+        (0..samples)
+            .map(|i| {
+                let t = Seconds(self.duration.value() * i as f64 / samples as f64);
+                (t, self.faulty_nodes_at(t))
+            })
+            .collect()
+    }
+
+    /// Mean time to repair over all events (zero when the trace is empty).
+    pub fn mean_repair_time(&self) -> Seconds {
+        if self.events.is_empty() {
+            return Seconds::ZERO;
+        }
+        let total: f64 = self.events.iter().map(|e| e.duration().value()).sum();
+        Seconds(total / self.events.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_trace() -> FaultTrace {
+        FaultTrace::new(
+            10,
+            Seconds(1000.0),
+            vec![
+                FaultEvent::new(NodeId(2), Seconds(100.0), Seconds(300.0)),
+                FaultEvent::new(NodeId(5), Seconds(250.0), Seconds(600.0)),
+                FaultEvent::new(NodeId(2), Seconds(700.0), Seconds(900.0)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_inputs() {
+        assert!(FaultTrace::new(0, Seconds(10.0), vec![]).is_err());
+        assert!(FaultTrace::new(5, Seconds(0.0), vec![]).is_err());
+        assert!(FaultTrace::new(
+            5,
+            Seconds(10.0),
+            vec![FaultEvent::new(NodeId(9), Seconds(0.0), Seconds(1.0))]
+        )
+        .is_err());
+        assert!(FaultTrace::new(
+            5,
+            Seconds(10.0),
+            vec![FaultEvent::new(NodeId(1), Seconds(5.0), Seconds(20.0))]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn events_are_sorted_by_start() {
+        let trace = FaultTrace::new(
+            4,
+            Seconds(100.0),
+            vec![
+                FaultEvent::new(NodeId(1), Seconds(50.0), Seconds(60.0)),
+                FaultEvent::new(NodeId(0), Seconds(10.0), Seconds(20.0)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(trace.events()[0].node, NodeId(0));
+        assert_eq!(trace.len(), 2);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn faulty_nodes_at_reflects_overlaps() {
+        let trace = simple_trace();
+        assert!(trace.faulty_nodes_at(Seconds(50.0)).is_empty());
+        assert_eq!(trace.faulty_nodes_at(Seconds(150.0)), vec![NodeId(2)]);
+        assert_eq!(
+            trace.faulty_nodes_at(Seconds(275.0)),
+            vec![NodeId(2), NodeId(5)]
+        );
+        assert_eq!(trace.faulty_nodes_at(Seconds(800.0)), vec![NodeId(2)]);
+        assert!((trace.fault_ratio_at(Seconds(275.0)) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_concurrent_faults_are_reported_once() {
+        let trace = FaultTrace::new(
+            4,
+            Seconds(100.0),
+            vec![
+                FaultEvent::new(NodeId(1), Seconds(0.0), Seconds(50.0)),
+                FaultEvent::new(NodeId(1), Seconds(10.0), Seconds(60.0)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(trace.faulty_nodes_at(Seconds(20.0)), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn sampling_covers_the_whole_duration() {
+        let trace = simple_trace();
+        let samples = trace.sample(10);
+        assert_eq!(samples.len(), 10);
+        assert_eq!(samples[0].0, Seconds(0.0));
+        assert!(samples[9].0.value() < 1000.0);
+    }
+
+    #[test]
+    fn mean_repair_time() {
+        let trace = simple_trace();
+        // Durations: 200, 350, 200 -> mean 250.
+        assert!((trace.mean_repair_time().value() - 250.0).abs() < 1e-9);
+        let empty = FaultTrace::new(4, Seconds(10.0), vec![]).unwrap();
+        assert_eq!(empty.mean_repair_time(), Seconds::ZERO);
+    }
+}

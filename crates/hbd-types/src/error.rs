@@ -1,0 +1,115 @@
+//! Error type shared across the workspace.
+//!
+//! The simulator is a library first: errors are returned, not printed, so that
+//! the experiment harness and downstream users decide how to report them.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, HbdError>;
+
+/// Errors produced by the InfiniteHBD simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HbdError {
+    /// A configuration value is invalid (zero-sized cluster, TP size that does
+    /// not divide into whole nodes, K larger than the node radix, ...).
+    InvalidConfig {
+        /// Human-readable description of the offending parameter.
+        reason: String,
+    },
+    /// A requested placement cannot be satisfied with the currently healthy
+    /// resources (e.g. the job needs more GPUs than the cluster can offer under
+    /// the present fault pattern).
+    Infeasible {
+        /// Human-readable description of the unsatisfiable requirement.
+        reason: String,
+    },
+    /// An entity identifier is out of range for the cluster it is used with.
+    UnknownEntity {
+        /// Description of the entity kind and index.
+        entity: String,
+    },
+    /// A hardware operation was requested in a state that does not allow it
+    /// (e.g. activating two external paths of one OCSTrx simultaneously).
+    InvalidOperation {
+        /// Human-readable description of the violated device constraint.
+        reason: String,
+    },
+}
+
+impl HbdError {
+    /// Shorthand constructor for [`HbdError::InvalidConfig`].
+    pub fn invalid_config(reason: impl Into<String>) -> Self {
+        HbdError::InvalidConfig {
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`HbdError::Infeasible`].
+    pub fn infeasible(reason: impl Into<String>) -> Self {
+        HbdError::Infeasible {
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`HbdError::UnknownEntity`].
+    pub fn unknown_entity(entity: impl Into<String>) -> Self {
+        HbdError::UnknownEntity {
+            entity: entity.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`HbdError::InvalidOperation`].
+    pub fn invalid_operation(reason: impl Into<String>) -> Self {
+        HbdError::InvalidOperation {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for HbdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HbdError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            HbdError::Infeasible { reason } => write!(f, "infeasible request: {reason}"),
+            HbdError::UnknownEntity { entity } => write!(f, "unknown entity: {entity}"),
+            HbdError::InvalidOperation { reason } => write!(f, "invalid operation: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for HbdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = HbdError::invalid_config("TP size 0");
+        assert_eq!(err.to_string(), "invalid configuration: TP size 0");
+        let err = HbdError::infeasible("job needs 4096 GPUs, 2880 available");
+        assert!(err.to_string().contains("infeasible"));
+        let err = HbdError::unknown_entity("NodeId(99) in 10-node cluster");
+        assert!(err.to_string().contains("unknown entity"));
+        let err = HbdError::invalid_operation("both external paths active");
+        assert!(err.to_string().contains("invalid operation"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&HbdError::invalid_config("x"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            HbdError::invalid_config("a"),
+            HbdError::InvalidConfig {
+                reason: "a".to_string()
+            }
+        );
+        assert_ne!(HbdError::invalid_config("a"), HbdError::infeasible("a"));
+    }
+}

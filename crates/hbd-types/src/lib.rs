@@ -1,0 +1,24 @@
+//! Common identifiers, physical units, configuration and error types shared by
+//! every crate in the InfiniteHBD workspace.
+//!
+//! The simulator is deliberately *strongly typed*: GPU indices, node indices,
+//! transceiver indices and rack (ToR) indices are distinct newtypes so that an
+//! orchestration bug cannot silently mix a node id with a GPU id, and physical
+//! quantities (bandwidth, power, money, time) carry their unit in the type.
+//!
+//! Everything here is `Copy`/`Clone`, `serde`-serialisable and has a total order
+//! where that makes sense, so the higher-level crates can use these types as map
+//! keys and in sorted structures without ceremony.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod units;
+
+pub use config::{ClusterConfig, GpuSpec, NodeSize};
+pub use error::{HbdError, Result};
+pub use ids::{GpuId, LinkId, NodeId, SwitchId, ToRId, TrxId};
+pub use units::{Bytes, Dollars, GBps, Gbps, Microseconds, Seconds, Watts};

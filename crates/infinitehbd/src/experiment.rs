@@ -1,0 +1,385 @@
+//! High-level experiment facade: one entry point that wires a cluster, a fault
+//! source and the comparison architectures together, for users who want the
+//! paper's headline numbers without assembling the crates by hand.
+
+use cluster::{fault_waiting_rate, max_supported_job, waste_over_trace};
+use control::{ClusterManager, ControlLatencies};
+use fault::{FaultTrace, GeneratorConfig, TraceGenerator};
+use hbd_types::{ClusterConfig, HbdError, Microseconds, Result, Seconds};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use topology::{paper_architectures, FaultSet, HbdArchitecture, KHopRing};
+
+/// A cluster-level fault-resilience study comparing every architecture the
+/// paper evaluates on the same synthetic fault trace.
+#[derive(Debug, Clone)]
+pub struct ClusterStudy {
+    config: ClusterConfig,
+    tp_size: usize,
+    trace: FaultTrace,
+}
+
+/// Per-architecture results of a [`ClusterStudy`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyReport {
+    /// Architecture name (figure legend string).
+    pub architecture: String,
+    /// Mean GPU waste ratio over the trace.
+    pub mean_waste_ratio: f64,
+    /// Maximum GPU waste ratio over the trace.
+    pub max_waste_ratio: f64,
+    /// Worst-case supported job scale (GPUs) over the trace.
+    pub min_supported_job: usize,
+    /// Fraction of the trace during which a 90%-of-cluster job must wait.
+    pub fault_waiting_rate_90pct: f64,
+}
+
+impl ClusterStudy {
+    /// Creates a study on the paper's 2,880-GPU cluster with a synthetic trace
+    /// calibrated to the production statistics, for the given TP size.
+    pub fn paper_cluster(tp_size: usize, seed: u64) -> Result<Self> {
+        Self::new(ClusterConfig::paper_2880_gpu(), tp_size, Seconds::from_days(348.0), seed)
+    }
+
+    /// Creates a study on an arbitrary cluster.
+    pub fn new(
+        config: ClusterConfig,
+        tp_size: usize,
+        duration: Seconds,
+        seed: u64,
+    ) -> Result<Self> {
+        config.validate()?;
+        if tp_size == 0 || tp_size % config.node_size.gpus() != 0 {
+            return Err(HbdError::invalid_config(format!(
+                "TP size {tp_size} must be a positive multiple of the node size {}",
+                config.node_size.gpus()
+            )));
+        }
+        // Generate a node-level trace calibrated to the production statistics,
+        // converted to this cluster's node size via the Appendix-A derivation.
+        let fault_ratio = match config.node_size.gpus() {
+            8 => 0.0233,
+            _ => 0.0117,
+        };
+        let generator = TraceGenerator::new(GeneratorConfig {
+            nodes: config.nodes,
+            duration,
+            steady_state_fault_ratio: fault_ratio,
+            mean_time_to_repair: Seconds::from_hours(12.0),
+        })?;
+        let trace = generator.generate(&mut StdRng::seed_from_u64(seed));
+        Ok(ClusterStudy {
+            config,
+            tp_size,
+            trace,
+        })
+    }
+
+    /// The underlying fault trace.
+    pub fn trace(&self) -> &FaultTrace {
+        &self.trace
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Runs the study over every architecture of the paper's comparison, using
+    /// `samples` evenly spaced instants of the trace.
+    pub fn run(&self, samples: usize) -> Vec<StudyReport> {
+        let archs = paper_architectures(
+            self.config.nodes,
+            self.config.node_size.gpus(),
+            self.tp_size,
+        );
+        archs
+            .iter()
+            .map(|arch| self.run_one(arch.as_ref(), samples))
+            .collect()
+    }
+
+    fn run_one(&self, arch: &dyn HbdArchitecture, samples: usize) -> StudyReport {
+        let points = waste_over_trace(arch, &self.trace, self.tp_size, samples);
+        let mean = points.iter().map(|p| p.waste_ratio).sum::<f64>() / points.len() as f64;
+        let max = points.iter().map(|p| p.waste_ratio).fold(0.0, f64::max);
+        let min_job = self
+            .trace
+            .sample(samples)
+            .into_iter()
+            .map(|(_, faulty)| {
+                let faults = FaultSet::from_nodes(
+                    faulty.into_iter().filter(|n| n.index() < arch.nodes()),
+                );
+                max_supported_job(arch, &faults, self.tp_size)
+            })
+            .min()
+            .unwrap_or(0);
+        let job_90 = (self.config.total_gpus() * 9 / 10 / self.tp_size) * self.tp_size;
+        StudyReport {
+            architecture: arch.name().to_string(),
+            mean_waste_ratio: mean,
+            max_waste_ratio: max,
+            min_supported_job: min_job,
+            fault_waiting_rate_90pct: fault_waiting_rate(
+                arch,
+                &self.trace,
+                self.tp_size,
+                job_90,
+                samples,
+            ),
+        }
+    }
+}
+
+/// A control-plane study: replay a fault trace through the §5.2 cluster
+/// manager and summarise what the control plane had to do.
+///
+/// Where [`ClusterStudy`] asks "how many GPUs stay usable", this asks "what
+/// does keeping them usable cost the control plane": reconfiguration commands,
+/// OCSTrx switching time, end-to-end recovery latency, and how often the ring
+/// actually partitions.
+#[derive(Debug, Clone)]
+pub struct FailoverStudy {
+    ring: KHopRing,
+    latencies: ControlLatencies,
+    trace: FaultTrace,
+    tp_size: usize,
+}
+
+/// Aggregate control-plane cost of replaying one fault trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailoverSummary {
+    /// Fault events replayed.
+    pub faults_handled: usize,
+    /// Repair events replayed.
+    pub repairs_handled: usize,
+    /// Total reconfiguration commands issued over the whole trace.
+    pub total_commands: usize,
+    /// Mean commands per fault/repair event.
+    pub mean_commands_per_event: f64,
+    /// Largest number of nodes reconfigured by a single event.
+    pub max_nodes_reconfigured: usize,
+    /// Cumulative OCSTrx switching time over the whole trace.
+    pub total_switching_time: Microseconds,
+    /// Mean end-to-end recovery time per event.
+    pub mean_recovery: Seconds,
+    /// Worst-case end-to-end recovery time.
+    pub max_recovery: Seconds,
+    /// Events after which the ring was left partitioned (more than one healthy
+    /// segment).
+    pub partition_events: usize,
+    /// Smallest usable-GPU count observed right after any event, for the
+    /// study's TP size.
+    pub min_usable_gpus: usize,
+}
+
+impl FailoverStudy {
+    /// Creates a study on the paper's 2,880-GPU cluster (720 × 4-GPU nodes)
+    /// wired with the given `k`, replaying a synthetic production-calibrated
+    /// trace of `days` days.
+    pub fn paper_cluster(k: usize, tp_size: usize, days: f64, seed: u64) -> Result<Self> {
+        let config = ClusterConfig::paper_2880_gpu();
+        let ring = KHopRing::new(config.nodes, config.node_size.gpus(), k)?;
+        let generator = TraceGenerator::new(GeneratorConfig {
+            nodes: config.nodes,
+            duration: Seconds::from_days(days),
+            steady_state_fault_ratio: 0.0117,
+            mean_time_to_repair: Seconds::from_hours(12.0),
+        })?;
+        let trace = generator.generate(&mut StdRng::seed_from_u64(seed));
+        Self::new(ring, ControlLatencies::production_defaults(), trace, tp_size)
+    }
+
+    /// Creates a study from explicit parts.
+    pub fn new(
+        ring: KHopRing,
+        latencies: ControlLatencies,
+        trace: FaultTrace,
+        tp_size: usize,
+    ) -> Result<Self> {
+        if tp_size == 0 || tp_size % ring.gpus_per_node() != 0 {
+            return Err(HbdError::invalid_config(format!(
+                "TP size {tp_size} must be a positive multiple of the node size {}",
+                ring.gpus_per_node()
+            )));
+        }
+        Ok(FailoverStudy { ring, latencies, trace, tp_size })
+    }
+
+    /// The fault trace being replayed.
+    pub fn trace(&self) -> &FaultTrace {
+        &self.trace
+    }
+
+    /// Replays the whole trace in event order and summarises the control-plane
+    /// cost.
+    pub fn run(&self) -> Result<FailoverSummary> {
+        let mut manager = ClusterManager::new(self.ring.clone(), self.latencies)?;
+        // Expand the trace into time-ordered fault/repair edges.
+        let mut edges: Vec<(Seconds, usize, bool)> = Vec::new();
+        for event in self.trace.events() {
+            if event.node.index() >= self.ring.nodes() {
+                continue;
+            }
+            edges.push((event.start, event.node.index(), true));
+            edges.push((event.end, event.node.index(), false));
+        }
+        edges.sort_by(|a, b| a.0.value().total_cmp(&b.0.value()));
+
+        let mut summary = FailoverSummary {
+            faults_handled: 0,
+            repairs_handled: 0,
+            total_commands: 0,
+            mean_commands_per_event: 0.0,
+            max_nodes_reconfigured: 0,
+            total_switching_time: Microseconds::ZERO,
+            mean_recovery: Seconds::ZERO,
+            max_recovery: Seconds::ZERO,
+            partition_events: 0,
+            min_usable_gpus: self.ring.total_gpus(),
+        };
+        let mut recovery_sum = Seconds::ZERO;
+        let mut events = 0usize;
+        for (at, node, is_fault) in edges {
+            let node = hbd_types::NodeId(node);
+            // Skip edges that would be redundant (overlapping events on the
+            // same node in the generated trace).
+            let already_faulty = manager.faults().is_faulty(node);
+            if is_fault == already_faulty {
+                continue;
+            }
+            let report = if is_fault {
+                summary.faults_handled += 1;
+                manager.inject_fault(node, at)?
+            } else {
+                summary.repairs_handled += 1;
+                manager.repair_node(node, at)?
+            };
+            events += 1;
+            summary.total_commands += report.commands;
+            summary.max_nodes_reconfigured =
+                summary.max_nodes_reconfigured.max(report.nodes_reconfigured);
+            recovery_sum += report.total_recovery;
+            summary.max_recovery = summary.max_recovery.max(report.total_recovery);
+            if report.segments > 1 {
+                summary.partition_events += 1;
+            }
+            summary.min_usable_gpus =
+                summary.min_usable_gpus.min(manager.usable_gpus(self.tp_size));
+        }
+        summary.total_switching_time = manager.timeline().total_switching_time();
+        if events > 0 {
+            summary.mean_commands_per_event = summary.total_commands as f64 / events as f64;
+            summary.mean_recovery = Seconds(recovery_sum.value() / events as f64);
+        }
+        Ok(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbd_types::NodeSize;
+
+    #[test]
+    fn study_rejects_mismatched_tp_sizes() {
+        assert!(ClusterStudy::paper_cluster(0, 1).is_err());
+        assert!(ClusterStudy::paper_cluster(30, 1).is_err());
+        assert!(ClusterStudy::paper_cluster(32, 1).is_ok());
+    }
+
+    #[test]
+    fn study_reports_every_architecture_once() {
+        let study = ClusterStudy::new(
+            ClusterConfig::new(180, NodeSize::Four, 16, 4).unwrap(),
+            32,
+            Seconds::from_days(20.0),
+            7,
+        )
+        .unwrap();
+        let reports = study.run(30);
+        assert_eq!(reports.len(), 8);
+        let infinite = reports
+            .iter()
+            .find(|r| r.architecture == "InfiniteHBD(K=3)")
+            .unwrap();
+        let sip = reports.iter().find(|r| r.architecture == "SiP-Ring").unwrap();
+        assert!(infinite.mean_waste_ratio <= sip.mean_waste_ratio);
+        assert!(infinite.min_supported_job >= sip.min_supported_job);
+        for report in &reports {
+            assert!(report.mean_waste_ratio >= 0.0 && report.mean_waste_ratio <= 1.0);
+            assert!(report.fault_waiting_rate_90pct >= 0.0 && report.fault_waiting_rate_90pct <= 1.0);
+        }
+    }
+
+    #[test]
+    fn failover_study_replays_a_trace_and_stays_consistent() {
+        let study = FailoverStudy::paper_cluster(3, 32, 30.0, 5).expect("valid study");
+        let summary = study.run().expect("replay succeeds");
+        // A 30-day window on a 720-node cluster sees plenty of events.
+        assert!(summary.faults_handled > 10, "{summary:?}");
+        // Every repair corresponds to an earlier fault (some faults may still
+        // be open at the end of the window).
+        assert!(summary.repairs_handled <= summary.faults_handled);
+        // Node-level explosion radius: a single event never reconfigures more
+        // than the fault's K-hop neighbourhood (2K neighbours plus the node
+        // itself on a repair).
+        assert!(summary.max_nodes_reconfigured <= 2 * 3 + 2, "{summary:?}");
+        assert!(summary.mean_commands_per_event > 0.0);
+        // K = 3 bypasses the ~1.17% steady-state fault ratio essentially
+        // always, so the usable capacity never collapses.
+        assert!(summary.min_usable_gpus > 2880 * 9 / 10, "{summary:?}");
+        assert!(summary.total_switching_time > Microseconds::ZERO);
+        assert!(summary.max_recovery >= summary.mean_recovery);
+    }
+
+    #[test]
+    fn failover_study_is_deterministic_and_validates_tp() {
+        assert!(FailoverStudy::paper_cluster(2, 30, 10.0, 1).is_err());
+        let a = FailoverStudy::paper_cluster(2, 32, 10.0, 9).unwrap().run().unwrap();
+        let b = FailoverStudy::paper_cluster(2, 32, 10.0, 9).unwrap().run().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hardware_only_latencies_bound_recovery_by_the_switch_window() {
+        let ring = KHopRing::new(64, 4, 2).unwrap();
+        let generator = TraceGenerator::new(GeneratorConfig {
+            nodes: 64,
+            duration: Seconds::from_days(5.0),
+            steady_state_fault_ratio: 0.02,
+            mean_time_to_repair: Seconds::from_hours(6.0),
+        })
+        .unwrap();
+        let trace = generator.generate(&mut StdRng::seed_from_u64(2));
+        let study =
+            FailoverStudy::new(ring, ControlLatencies::hardware_only(), trace, 16).unwrap();
+        let summary = study.run().unwrap();
+        // With zero software latency every recovery is a single parallel OCSTrx
+        // switch: at most 80 us.
+        assert!(summary.max_recovery <= Seconds(80e-6), "{summary:?}");
+    }
+
+    #[test]
+    fn study_is_deterministic_for_a_seed() {
+        let a = ClusterStudy::new(
+            ClusterConfig::new(90, NodeSize::Four, 16, 4).unwrap(),
+            16,
+            Seconds::from_days(10.0),
+            3,
+        )
+        .unwrap()
+        .run(10);
+        let b = ClusterStudy::new(
+            ClusterConfig::new(90, NodeSize::Four, 16, 4).unwrap(),
+            16,
+            Seconds::from_days(10.0),
+            3,
+        )
+        .unwrap()
+        .run(10);
+        assert_eq!(a, b);
+    }
+}

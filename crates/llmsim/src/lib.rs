@@ -1,0 +1,49 @@
+//! Analytical LLM training simulator.
+//!
+//! The paper's §2.3 and §6.3 use an in-house simulator to ask: *given a model,
+//! a cluster size and an HBD that supports a given maximum TP size, which
+//! parallelism strategy maximises Model FLOPs Utilization (MFU)?* The answers
+//! (Tables 2, 4 and 5) drive the whole design: optimal TP grows with cluster
+//! size, so the HBD must support large and adaptable TP groups.
+//!
+//! This crate reproduces that simulator analytically:
+//!
+//! * [`model`] — transformer / MoE model descriptions with the paper's two
+//!   presets (Llama 3.1-405B simplified to MHA, and the 1.1T GPT-MoE of
+//!   Appendix B),
+//! * [`parallelism`] — the (TP, PP, DP, EP, virtual-PP) strategy space,
+//! * [`memory`] — a per-GPU memory estimate used to reject infeasible
+//!   strategies,
+//! * [`compute`] — FLOPs accounting and the GEMM-efficiency degradation that
+//!   penalises very large TP (§6.3: "increasing parallelism splits GEMMs into
+//!   smaller, less efficient tasks"),
+//! * [`comm`] — TP/EP/DP/PP communication volumes (Table 3) and their timing on
+//!   the HBD / DCN links,
+//! * [`pipeline`] — the pipeline-bubble model (with virtual pipeline stages),
+//! * [`moe`] — the expert-imbalance straggler model (§2.3, Table 4),
+//! * [`mfu`] — the end-to-end iteration-time and MFU estimate,
+//! * [`search`] — exhaustive strategy search under a TP-size cap (the cap is
+//!   what an HBD architecture does or does not provide).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod compute;
+pub mod memory;
+pub mod mfu;
+pub mod model;
+pub mod moe;
+pub mod parallelism;
+pub mod pipeline;
+pub mod search;
+
+pub use comm::CommModel;
+pub use compute::ComputeModel;
+pub use memory::MemoryModel;
+pub use mfu::{MfuEstimate, TrainingSimulator};
+pub use model::{ModelConfig, ModelKind};
+pub use moe::ExpertImbalance;
+pub use parallelism::ParallelismStrategy;
+pub use pipeline::PipelineModel;
+pub use search::{SearchSpace, StrategySearch};

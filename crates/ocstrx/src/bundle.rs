@@ -1,0 +1,210 @@
+//! OCSTrx *bundles* — the unit of connectivity the topology reasons about.
+//!
+//! On the UBB 2.0 baseboard (Fig 4), each pair of GPUs shares a bundle of
+//! OCSTrx modules: one GPU drives the upper-half SerDes lanes, the other the
+//! lower half. A 6.4 Tbps GPU needs 8 × 800 Gbps modules per bundle. The bundle
+//! acts as a single logical switchable link: all modules in the bundle are
+//! reconfigured together, and its aggregate bandwidth rides on whichever path is
+//! active.
+
+use crate::path::PathId;
+use crate::transceiver::{OcsTrx, TrxConfig};
+use hbd_types::{Gbps, HbdError, Microseconds, Result};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate state of a bundle, as seen by the topology layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BundleState {
+    /// The bundle carries traffic on its primary external path.
+    ActivePrimary,
+    /// The bundle carries traffic on its backup external path (fault bypass).
+    ActiveBackup,
+    /// The bundle is closed into the intra-node loopback (ring endpoint).
+    Loopback,
+    /// The bundle is idle (e.g. replaced by a DAC link in the cost-reduced
+    /// variant, or simply unused by the current job).
+    Idle,
+}
+
+/// A bundle of OCSTrx modules serving one GPU pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Bundle {
+    modules: Vec<OcsTrx>,
+    state: BundleState,
+}
+
+impl Bundle {
+    /// Creates a bundle of `modules` OCSTrx with the default QSFP-DD 800G
+    /// configuration. The paper's reference design uses 8 modules per bundle
+    /// for a 6.4 Tbps GPU.
+    pub fn new(modules: usize) -> Result<Self> {
+        Self::with_config(modules, TrxConfig::qsfp_dd_800g())
+    }
+
+    /// Creates a bundle with an explicit per-module configuration.
+    pub fn with_config(modules: usize, config: TrxConfig) -> Result<Self> {
+        if modules == 0 {
+            return Err(HbdError::invalid_config("a bundle needs at least one OCSTrx"));
+        }
+        Ok(Bundle {
+            modules: (0..modules)
+                .map(|_| OcsTrx::with_config(config))
+                .collect::<Result<Vec<_>>>()?,
+            state: BundleState::ActivePrimary,
+        })
+    }
+
+    /// The bundle sized for the paper's 6.4 Tbps GPU (8 × 800 Gbps).
+    pub fn for_6_4_tbps_gpu() -> Self {
+        Self::new(8).expect("8 modules is a valid bundle")
+    }
+
+    /// Number of OCSTrx modules in the bundle.
+    pub fn module_count(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Aggregate line rate of the bundle.
+    pub fn aggregate_bandwidth(&self) -> Gbps {
+        self.modules
+            .iter()
+            .map(|m| m.config().line_rate)
+            .fold(Gbps::ZERO, |a, b| a + b)
+    }
+
+    /// Current aggregate state.
+    pub fn state(&self) -> BundleState {
+        self.state
+    }
+
+    /// Bandwidth currently delivered by the bundle (zero when idle).
+    pub fn delivered_bandwidth(&self) -> Gbps {
+        match self.state {
+            BundleState::Idle => Gbps::ZERO,
+            _ => self
+                .modules
+                .iter()
+                .filter(|m| m.is_carrying_traffic())
+                .map(|m| m.config().line_rate)
+                .fold(Gbps::ZERO, |a, b| a + b),
+        }
+    }
+
+    /// Switches the whole bundle to its primary external path. Returns the
+    /// latency of the slowest module (they reconfigure concurrently).
+    pub fn activate_primary(&mut self) -> Result<Microseconds> {
+        let t = self.reconfigure_all(PathId::External1)?;
+        self.state = BundleState::ActivePrimary;
+        Ok(t)
+    }
+
+    /// Switches the whole bundle to its backup external path (fault bypass).
+    pub fn activate_backup(&mut self) -> Result<Microseconds> {
+        let t = self.reconfigure_all(PathId::External2)?;
+        self.state = BundleState::ActiveBackup;
+        Ok(t)
+    }
+
+    /// Closes the bundle into the intra-node cross-lane loopback, making the
+    /// two GPUs of the pair ring endpoints.
+    pub fn activate_loopback(&mut self) -> Result<Microseconds> {
+        let t = self.reconfigure_all(PathId::Loopback)?;
+        self.state = BundleState::Loopback;
+        Ok(t)
+    }
+
+    /// Marks the bundle idle (no traffic, e.g. not used by the current ring).
+    pub fn set_idle(&mut self) {
+        self.state = BundleState::Idle;
+    }
+
+    /// Marks the fiber of the given external path as down on every module
+    /// (e.g. the neighbour node failed).
+    pub fn mark_path_down(&mut self, path: PathId) {
+        for module in &mut self.modules {
+            module.mark_down(path);
+        }
+    }
+
+    /// Repairs the given path on every module.
+    pub fn mark_path_repaired(&mut self, path: PathId) {
+        for module in &mut self.modules {
+            module.mark_repaired(path);
+        }
+    }
+
+    /// Read-only access to the modules.
+    pub fn modules(&self) -> &[OcsTrx] {
+        &self.modules
+    }
+
+    fn reconfigure_all(&mut self, path: PathId) -> Result<Microseconds> {
+        let mut worst = Microseconds::ZERO;
+        for module in &mut self.modules {
+            let t = module.reconfigure(path)?;
+            worst = worst.max(t);
+        }
+        Ok(worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_bundle_reaches_6_4_tbps() {
+        let bundle = Bundle::for_6_4_tbps_gpu();
+        assert_eq!(bundle.module_count(), 8);
+        assert_eq!(bundle.aggregate_bandwidth(), Gbps(6400.0));
+        assert_eq!(bundle.state(), BundleState::ActivePrimary);
+        assert_eq!(bundle.delivered_bandwidth(), Gbps(6400.0));
+    }
+
+    #[test]
+    fn empty_bundles_are_rejected() {
+        assert!(Bundle::new(0).is_err());
+    }
+
+    #[test]
+    fn bundle_reconfiguration_latency_is_bounded_by_slowest_module() {
+        let mut bundle = Bundle::new(4).unwrap();
+        let t = bundle.activate_backup().unwrap();
+        assert!(t.value() >= 60.0 && t.value() <= 80.0);
+        assert_eq!(bundle.state(), BundleState::ActiveBackup);
+        assert_eq!(bundle.delivered_bandwidth(), Gbps(3200.0));
+    }
+
+    #[test]
+    fn loopback_closes_the_bundle() {
+        let mut bundle = Bundle::new(2).unwrap();
+        bundle.activate_loopback().unwrap();
+        assert_eq!(bundle.state(), BundleState::Loopback);
+        assert_eq!(bundle.delivered_bandwidth(), Gbps(1600.0));
+    }
+
+    #[test]
+    fn idle_bundles_deliver_no_bandwidth() {
+        let mut bundle = Bundle::new(2).unwrap();
+        bundle.set_idle();
+        assert_eq!(bundle.delivered_bandwidth(), Gbps::ZERO);
+    }
+
+    #[test]
+    fn fault_bypass_workflow_restores_bandwidth() {
+        let mut bundle = Bundle::new(8).unwrap();
+        // Neighbour on the primary path fails.
+        bundle.mark_path_down(PathId::External1);
+        assert_eq!(bundle.delivered_bandwidth(), Gbps::ZERO);
+        // Cannot go back to primary while it is down...
+        assert!(bundle.activate_primary().is_err());
+        // ...but the backup path restores the full bandwidth.
+        bundle.activate_backup().unwrap();
+        assert_eq!(bundle.delivered_bandwidth(), Gbps(6400.0));
+        // After repair the primary can be re-activated.
+        bundle.mark_path_repaired(PathId::External1);
+        bundle.activate_primary().unwrap();
+        assert_eq!(bundle.state(), BundleState::ActivePrimary);
+        assert_eq!(bundle.delivered_bandwidth(), Gbps(6400.0));
+    }
+}

@@ -1,0 +1,238 @@
+//! The OCS controller and the *fast switch* mechanism (Appendix G.1).
+//!
+//! Centralized OCS switches pay milliseconds-to-minutes of end-to-end
+//! reconfiguration because the control plane computes and distributes a new
+//! crossbar configuration on every change. The OCSTrx controller instead
+//! **preloads** a small set of "Top-Session" configurations (which path, and for
+//! the loopback path which lane pairing) into the module; switching between
+//! preloaded sessions only triggers the thermo-optic settling (~60–80 µs), not a
+//! control-plane round trip.
+//!
+//! The controller model tracks which sessions are preloaded, charges a (much
+//! larger, configurable) control-plane latency when a switch targets a session
+//! that was *not* preloaded, and exposes counters so experiments can confirm
+//! that steady-state operation (fault bypass, ring re-formation, Binary Exchange
+//! AllToAll rounds) only ever uses preloaded sessions.
+
+use crate::path::PathId;
+use crate::transceiver::OcsTrx;
+use hbd_types::{HbdError, Microseconds, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a preloaded session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SessionId(pub u32);
+
+/// A preloadable switch configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// The path this session activates.
+    pub path: PathId,
+}
+
+/// The per-module fast-switch controller.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FastSwitchController {
+    sessions: HashMap<SessionId, SessionConfig>,
+    /// Maximum number of sessions the controller SRAM can hold.
+    capacity: usize,
+    /// Control-plane latency charged when switching to a configuration that was
+    /// not preloaded (microseconds). Modeled after a software round trip to the
+    /// node fabric manager.
+    cold_switch_penalty: Microseconds,
+    fast_switches: u64,
+    cold_switches: u64,
+}
+
+impl FastSwitchController {
+    /// Default controller: 8 preloadable sessions, 5 ms cold-switch penalty.
+    pub fn new() -> Self {
+        Self::with_capacity(8, Microseconds(5_000.0))
+    }
+
+    /// Creates a controller with an explicit session capacity and cold-switch
+    /// penalty.
+    pub fn with_capacity(capacity: usize, cold_switch_penalty: Microseconds) -> Self {
+        FastSwitchController {
+            sessions: HashMap::new(),
+            capacity,
+            cold_switch_penalty,
+            fast_switches: 0,
+            cold_switches: 0,
+        }
+    }
+
+    /// Preloads a session. Fails when the controller SRAM is full.
+    pub fn preload(&mut self, id: SessionId, config: SessionConfig) -> Result<()> {
+        if self.sessions.len() >= self.capacity && !self.sessions.contains_key(&id) {
+            return Err(HbdError::invalid_operation(format!(
+                "controller session table full ({} entries)",
+                self.capacity
+            )));
+        }
+        self.sessions.insert(id, config);
+        Ok(())
+    }
+
+    /// Removes a preloaded session.
+    pub fn evict(&mut self, id: SessionId) -> Option<SessionConfig> {
+        self.sessions.remove(&id)
+    }
+
+    /// Number of preloaded sessions.
+    pub fn preloaded(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether a session is preloaded.
+    pub fn is_preloaded(&self, id: SessionId) -> bool {
+        self.sessions.contains_key(&id)
+    }
+
+    /// Switches the transceiver to the given preloaded session, returning the
+    /// end-to-end latency (the 60–80 µs fast-switch window).
+    pub fn fast_switch(&mut self, trx: &mut OcsTrx, id: SessionId) -> Result<Microseconds> {
+        let config = *self
+            .sessions
+            .get(&id)
+            .ok_or_else(|| HbdError::invalid_operation(format!("session {id:?} not preloaded")))?;
+        let latency = trx.reconfigure(config.path)?;
+        self.fast_switches += 1;
+        Ok(latency)
+    }
+
+    /// Switches to a configuration that was not preloaded: the control plane
+    /// must program the session first, so the cold penalty is added on top of
+    /// the optical reconfiguration. The session becomes preloaded afterwards
+    /// (evicting an arbitrary entry if the table was full).
+    pub fn cold_switch(
+        &mut self,
+        trx: &mut OcsTrx,
+        id: SessionId,
+        config: SessionConfig,
+    ) -> Result<Microseconds> {
+        if self.sessions.len() >= self.capacity && !self.sessions.contains_key(&id) {
+            let victim = *self
+                .sessions
+                .keys()
+                .min()
+                .expect("table is full, so it is non-empty");
+            self.sessions.remove(&victim);
+        }
+        self.sessions.insert(id, config);
+        let optical = trx.reconfigure(config.path)?;
+        self.cold_switches += 1;
+        Ok(optical + self.cold_switch_penalty)
+    }
+
+    /// Number of fast (preloaded) switches performed.
+    pub fn fast_switch_count(&self) -> u64 {
+        self.fast_switches
+    }
+
+    /// Number of cold (control-plane) switches performed.
+    pub fn cold_switch_count(&self) -> u64 {
+        self.cold_switches
+    }
+}
+
+impl Default for FastSwitchController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller_with_standard_sessions() -> FastSwitchController {
+        let mut controller = FastSwitchController::new();
+        controller
+            .preload(SessionId(1), SessionConfig { path: PathId::External1 })
+            .unwrap();
+        controller
+            .preload(SessionId(2), SessionConfig { path: PathId::External2 })
+            .unwrap();
+        controller
+            .preload(SessionId(3), SessionConfig { path: PathId::Loopback })
+            .unwrap();
+        controller
+    }
+
+    #[test]
+    fn fast_switch_uses_preloaded_session_within_window() {
+        let mut controller = controller_with_standard_sessions();
+        let mut trx = OcsTrx::new();
+        let t = controller.fast_switch(&mut trx, SessionId(2)).unwrap();
+        assert!(t.value() >= 60.0 && t.value() <= 80.0);
+        assert_eq!(trx.active_path(), PathId::External2);
+        assert_eq!(controller.fast_switch_count(), 1);
+        assert_eq!(controller.cold_switch_count(), 0);
+    }
+
+    #[test]
+    fn switching_to_unpreloaded_session_fails_fast_path() {
+        let mut controller = FastSwitchController::new();
+        let mut trx = OcsTrx::new();
+        assert!(controller.fast_switch(&mut trx, SessionId(9)).is_err());
+    }
+
+    #[test]
+    fn cold_switch_pays_control_plane_penalty() {
+        let mut controller = FastSwitchController::new();
+        let mut trx = OcsTrx::new();
+        let t = controller
+            .cold_switch(&mut trx, SessionId(7), SessionConfig { path: PathId::Loopback })
+            .unwrap();
+        assert!(t.value() > 1_000.0, "cold switch should cost milliseconds, got {t}");
+        assert!(controller.is_preloaded(SessionId(7)));
+        // The same session is now fast.
+        trx.reconfigure(PathId::External1).unwrap();
+        let t2 = controller.fast_switch(&mut trx, SessionId(7)).unwrap();
+        assert!(t2.value() <= 80.0);
+    }
+
+    #[test]
+    fn preload_respects_capacity() {
+        let mut controller = FastSwitchController::with_capacity(2, Microseconds(1000.0));
+        controller
+            .preload(SessionId(1), SessionConfig { path: PathId::External1 })
+            .unwrap();
+        controller
+            .preload(SessionId(2), SessionConfig { path: PathId::External2 })
+            .unwrap();
+        assert!(controller
+            .preload(SessionId(3), SessionConfig { path: PathId::Loopback })
+            .is_err());
+        // Updating an existing session is always allowed.
+        assert!(controller
+            .preload(SessionId(2), SessionConfig { path: PathId::Loopback })
+            .is_ok());
+        assert_eq!(controller.preloaded(), 2);
+    }
+
+    #[test]
+    fn cold_switch_evicts_when_full() {
+        let mut controller = FastSwitchController::with_capacity(1, Microseconds(1000.0));
+        controller
+            .preload(SessionId(1), SessionConfig { path: PathId::External1 })
+            .unwrap();
+        let mut trx = OcsTrx::new();
+        controller
+            .cold_switch(&mut trx, SessionId(2), SessionConfig { path: PathId::External2 })
+            .unwrap();
+        assert!(controller.is_preloaded(SessionId(2)));
+        assert!(!controller.is_preloaded(SessionId(1)));
+        assert_eq!(controller.preloaded(), 1);
+    }
+
+    #[test]
+    fn evict_removes_sessions() {
+        let mut controller = controller_with_standard_sessions();
+        assert!(controller.evict(SessionId(1)).is_some());
+        assert!(controller.evict(SessionId(1)).is_none());
+        assert_eq!(controller.preloaded(), 2);
+    }
+}

@@ -1,0 +1,394 @@
+//! The OCSTrx module: the path state machine, reconfiguration latency and the
+//! bandwidth-allocation rule.
+//!
+//! The transceiver is the unit that the topology crate reasons about: it has
+//! exactly one *active* path at a time (time-division bandwidth allocation,
+//! §3 Design 1), switching between paths costs 60–80 µs end to end, and the
+//! full line rate (800 Gbps per module) always rides on the active path.
+
+use crate::matrix::MziSwitchMatrix;
+use crate::optics::{BerModel, InsertionLossModel, OpticalConditions};
+use crate::path::{PathId, PathState};
+use crate::power::PowerModel;
+use hbd_types::{Gbps, HbdError, Microseconds, Result, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of an OCSTrx module.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrxConfig {
+    /// Line rate of the module.
+    pub line_rate: Gbps,
+    /// Number of SerDes lane pairs (8 for QSFP-DD 800G).
+    pub lanes: usize,
+    /// Lower bound of the end-to-end reconfiguration latency.
+    pub reconfig_min: Microseconds,
+    /// Upper bound of the end-to-end reconfiguration latency.
+    pub reconfig_max: Microseconds,
+}
+
+impl TrxConfig {
+    /// The QSFP-DD 800 Gbps configuration evaluated in the paper.
+    pub fn qsfp_dd_800g() -> Self {
+        TrxConfig {
+            line_rate: Gbps(800.0),
+            lanes: 8,
+            reconfig_min: Microseconds(60.0),
+            reconfig_max: Microseconds(80.0),
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.lanes == 0 || self.lanes % 2 != 0 {
+            return Err(HbdError::invalid_config(format!(
+                "OCSTrx needs an even, positive lane count (got {})",
+                self.lanes
+            )));
+        }
+        if self.line_rate.value() <= 0.0 {
+            return Err(HbdError::invalid_config("line rate must be positive"));
+        }
+        if self.reconfig_min.value() <= 0.0 || self.reconfig_max.value() < self.reconfig_min.value()
+        {
+            return Err(HbdError::invalid_config(
+                "reconfiguration latency bounds must satisfy 0 < min <= max",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for TrxConfig {
+    fn default() -> Self {
+        Self::qsfp_dd_800g()
+    }
+}
+
+/// A single OCSTrx module.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OcsTrx {
+    config: TrxConfig,
+    matrix: MziSwitchMatrix,
+    loss_model: InsertionLossModel,
+    ber_model: BerModel,
+    power_model: PowerModel,
+    active: PathId,
+    states: [PathState; 3],
+    /// Total number of reconfigurations performed (telemetry).
+    reconfig_count: u64,
+    /// Accumulated reconfiguration time in microseconds (telemetry).
+    reconfig_time_us: f64,
+}
+
+impl OcsTrx {
+    /// Creates a transceiver with the QSFP-DD 800G configuration, external
+    /// path 1 active (the deployment-time default: the primary neighbour link).
+    pub fn new() -> Self {
+        Self::with_config(TrxConfig::qsfp_dd_800g()).expect("default config is valid")
+    }
+
+    /// Creates a transceiver with an explicit configuration.
+    pub fn with_config(config: TrxConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(OcsTrx {
+            config,
+            matrix: MziSwitchMatrix::new(config.lanes)?,
+            loss_model: InsertionLossModel::paper_calibrated(),
+            ber_model: BerModel::paper_calibrated(),
+            power_model: PowerModel::paper_calibrated(),
+            active: PathId::External1,
+            states: [PathState::Active, PathState::Standby, PathState::Standby],
+            reconfig_count: 0,
+            reconfig_time_us: 0.0,
+        })
+    }
+
+    /// Static configuration.
+    pub fn config(&self) -> &TrxConfig {
+        &self.config
+    }
+
+    /// The currently active path.
+    pub fn active_path(&self) -> PathId {
+        self.active
+    }
+
+    /// State of a given path.
+    pub fn path_state(&self, path: PathId) -> PathState {
+        self.states[Self::idx(path)]
+    }
+
+    /// Bandwidth carried by `path` right now. The full line rate rides on the
+    /// active path; every other path carries zero — this is the "no redundant
+    /// link waste" property of Design 1.
+    pub fn bandwidth_on(&self, path: PathId) -> Gbps {
+        if path == self.active && self.states[Self::idx(path)].carries_traffic() {
+            self.config.line_rate
+        } else {
+            Gbps::ZERO
+        }
+    }
+
+    /// Marks a path as down (e.g. the neighbour node on that fiber failed).
+    /// If the active path goes down the transceiver stops carrying traffic
+    /// until it is reconfigured onto a selectable path.
+    pub fn mark_down(&mut self, path: PathId) {
+        self.states[Self::idx(path)] = PathState::Down;
+    }
+
+    /// Restores a previously-down path to standby.
+    pub fn mark_repaired(&mut self, path: PathId) {
+        if self.states[Self::idx(path)] == PathState::Down {
+            self.states[Self::idx(path)] = if self.active == path {
+                PathState::Active
+            } else {
+                PathState::Standby
+            };
+        }
+    }
+
+    /// Whether the transceiver is currently able to carry traffic.
+    pub fn is_carrying_traffic(&self) -> bool {
+        self.states[Self::idx(self.active)].carries_traffic()
+    }
+
+    /// Reconfigures the transceiver onto `path`, returning the end-to-end
+    /// reconfiguration latency. Selecting the already-active path is free.
+    ///
+    /// The returned latency is the paper's 60–80 µs window: the optical
+    /// (thermo-optic) settling time from the MZI model, floored/capped by the
+    /// configured bounds which also account for the controller firmware.
+    pub fn reconfigure(&mut self, path: PathId) -> Result<Microseconds> {
+        if !self.states[Self::idx(path)].is_selectable() {
+            return Err(HbdError::invalid_operation(format!(
+                "cannot activate {path}: path is down"
+            )));
+        }
+        if path == self.active {
+            return Ok(Microseconds::ZERO);
+        }
+        let optical_settle = match path {
+            PathId::External1 => {
+                let mut t: f64 = 0.0;
+                for lane in 0..self.config.lanes {
+                    t = t.max(self.matrix.steer_external(lane, PathId::External1)?);
+                }
+                t
+            }
+            PathId::External2 => {
+                let mut t: f64 = 0.0;
+                for lane in 0..self.config.lanes {
+                    t = t.max(self.matrix.steer_external(lane, PathId::External2)?);
+                }
+                t
+            }
+            PathId::Loopback => {
+                let half = self.config.lanes / 2;
+                let mut t: f64 = 0.0;
+                for lane in 0..half {
+                    t = t.max(self.matrix.steer_loopback(lane, lane + half)?);
+                }
+                t
+            }
+        };
+        // End-to-end latency = optical settling + controller overhead, clamped
+        // to the published 60–80 µs window.
+        let latency = (optical_settle + 40.0)
+            .max(self.config.reconfig_min.value())
+            .min(self.config.reconfig_max.value());
+
+        // Demote the old active path, promote the new one.
+        let old = self.active;
+        if self.states[Self::idx(old)] == PathState::Active {
+            self.states[Self::idx(old)] = PathState::Standby;
+        }
+        self.states[Self::idx(path)] = PathState::Active;
+        self.active = path;
+        self.reconfig_count += 1;
+        self.reconfig_time_us += latency;
+        Ok(Microseconds(latency))
+    }
+
+    /// Insertion loss of the currently active path under the given conditions,
+    /// drawn from the statistical loss model (deterministic mean via
+    /// [`InsertionLossModel::mean_db`] is also available on the model itself).
+    pub fn insertion_loss_db<R: rand::Rng + ?Sized>(
+        &self,
+        conditions: OpticalConditions,
+        rng: &mut R,
+    ) -> f64 {
+        // The loopback path crosses more MZI stages; charge the extra element
+        // loss relative to the external-path baseline that the model was
+        // calibrated on.
+        let extra = match self.active {
+            PathId::Loopback => {
+                self.matrix.element_loss_db(PathId::Loopback)
+                    - self.matrix.element_loss_db(PathId::External1)
+            }
+            _ => 0.0,
+        };
+        self.loss_model.sample(conditions.temperature_c, rng) + extra
+    }
+
+    /// Expected BER of the active path under the given conditions.
+    pub fn expected_ber(&self, conditions: OpticalConditions) -> f64 {
+        self.ber_model.expected_ber(conditions)
+    }
+
+    /// Total module power under the given conditions.
+    pub fn power(&self, temperature_c: f64) -> Watts {
+        self.power_model.total_power(self.active, temperature_c)
+    }
+
+    /// Number of reconfigurations performed since creation.
+    pub fn reconfiguration_count(&self) -> u64 {
+        self.reconfig_count
+    }
+
+    /// Total time spent reconfiguring since creation.
+    pub fn total_reconfiguration_time(&self) -> Microseconds {
+        Microseconds(self.reconfig_time_us)
+    }
+
+    /// Access to the underlying switch matrix (read-only).
+    pub fn matrix(&self) -> &MziSwitchMatrix {
+        &self.matrix
+    }
+
+    fn idx(path: PathId) -> usize {
+        match path {
+            PathId::External1 => 0,
+            PathId::External2 => 1,
+            PathId::Loopback => 2,
+        }
+    }
+}
+
+impl Default for OcsTrx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn defaults_match_qsfp_dd_800g() {
+        let trx = OcsTrx::new();
+        assert_eq!(trx.config().line_rate, Gbps(800.0));
+        assert_eq!(trx.config().lanes, 8);
+        assert_eq!(trx.active_path(), PathId::External1);
+        assert!(trx.is_carrying_traffic());
+    }
+
+    #[test]
+    fn only_the_active_path_carries_bandwidth() {
+        let trx = OcsTrx::new();
+        assert_eq!(trx.bandwidth_on(PathId::External1), Gbps(800.0));
+        assert_eq!(trx.bandwidth_on(PathId::External2), Gbps::ZERO);
+        assert_eq!(trx.bandwidth_on(PathId::Loopback), Gbps::ZERO);
+        let total: f64 = PathId::ALL.iter().map(|&p| trx.bandwidth_on(p).value()).sum();
+        assert_eq!(total, 800.0);
+    }
+
+    #[test]
+    fn reconfiguration_latency_is_within_published_window() {
+        let mut trx = OcsTrx::new();
+        let t = trx.reconfigure(PathId::External2).unwrap();
+        assert!(t.value() >= 60.0 && t.value() <= 80.0, "latency {t}");
+        let t = trx.reconfigure(PathId::Loopback).unwrap();
+        assert!(t.value() >= 60.0 && t.value() <= 80.0, "latency {t}");
+        assert_eq!(trx.reconfiguration_count(), 2);
+        assert!(trx.total_reconfiguration_time().value() >= 120.0);
+    }
+
+    #[test]
+    fn reactivating_the_active_path_is_free() {
+        let mut trx = OcsTrx::new();
+        assert_eq!(trx.reconfigure(PathId::External1).unwrap(), Microseconds::ZERO);
+        assert_eq!(trx.reconfiguration_count(), 0);
+    }
+
+    #[test]
+    fn reconfiguration_moves_the_full_bandwidth() {
+        let mut trx = OcsTrx::new();
+        trx.reconfigure(PathId::External2).unwrap();
+        assert_eq!(trx.bandwidth_on(PathId::External2), Gbps(800.0));
+        assert_eq!(trx.bandwidth_on(PathId::External1), Gbps::ZERO);
+        assert_eq!(trx.path_state(PathId::External1), PathState::Standby);
+        assert_eq!(trx.path_state(PathId::External2), PathState::Active);
+    }
+
+    #[test]
+    fn down_paths_cannot_be_activated_until_repaired() {
+        let mut trx = OcsTrx::new();
+        trx.mark_down(PathId::External2);
+        assert!(trx.reconfigure(PathId::External2).is_err());
+        trx.mark_repaired(PathId::External2);
+        assert!(trx.reconfigure(PathId::External2).is_ok());
+    }
+
+    #[test]
+    fn losing_the_active_path_stops_traffic() {
+        let mut trx = OcsTrx::new();
+        trx.mark_down(PathId::External1);
+        assert!(!trx.is_carrying_traffic());
+        assert_eq!(trx.bandwidth_on(PathId::External1), Gbps::ZERO);
+        // Failing over to the backup path restores traffic.
+        trx.reconfigure(PathId::External2).unwrap();
+        assert!(trx.is_carrying_traffic());
+    }
+
+    #[test]
+    fn loopback_path_has_higher_insertion_loss() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut trx = OcsTrx::new();
+        let cond = OpticalConditions::room_temperature();
+        let ext_losses: f64 = (0..200)
+            .map(|_| trx.insertion_loss_db(cond, &mut rng))
+            .sum::<f64>()
+            / 200.0;
+        trx.reconfigure(PathId::Loopback).unwrap();
+        let loop_losses: f64 = (0..200)
+            .map(|_| trx.insertion_loss_db(cond, &mut rng))
+            .sum::<f64>()
+            / 200.0;
+        assert!(loop_losses > ext_losses);
+        assert!(ext_losses > 2.5 && ext_losses < 4.0);
+    }
+
+    #[test]
+    fn power_stays_within_qsfp_dd_budget_across_paths() {
+        let mut trx = OcsTrx::new();
+        for path in PathId::ALL {
+            trx.mark_repaired(path);
+            trx.reconfigure(path).unwrap();
+            for temp in [0.0, 25.0, 50.0, 85.0] {
+                assert!(trx.power(temp).value() < 12.0);
+            }
+        }
+    }
+
+    #[test]
+    fn expected_ber_is_zero_at_room_temperature() {
+        let trx = OcsTrx::new();
+        assert_eq!(trx.expected_ber(OpticalConditions::room_temperature()), 0.0);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut cfg = TrxConfig::qsfp_dd_800g();
+        cfg.lanes = 3;
+        assert!(OcsTrx::with_config(cfg).is_err());
+        let mut cfg = TrxConfig::qsfp_dd_800g();
+        cfg.line_rate = Gbps(0.0);
+        assert!(OcsTrx::with_config(cfg).is_err());
+        let mut cfg = TrxConfig::qsfp_dd_800g();
+        cfg.reconfig_max = Microseconds(10.0);
+        assert!(OcsTrx::with_config(cfg).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! `Orchestration-DCN-Free` — Algorithm 2 of the paper.
+//!
+//! Without DCN considerations, placing TP groups on InfiniteHBD is simple:
+//!
+//! 1. remove the faulty nodes from the K-Hop graph,
+//! 2. find the connected components of the healthy subgraph with a DFS,
+//! 3. sort each component in HBD (deployment) order, and
+//! 4. cut every component into consecutive runs of `m = TP / R` nodes.
+//!
+//! Because each component is a contiguous stretch of the K-Hop line (faults of
+//! fewer than `K` consecutive nodes do not disconnect it), every emitted run is
+//! ring-formable via the intra-node loopback of its two end bundles.
+
+use crate::scheme::{PlacementScheme, TpGroup};
+use hbd_types::NodeId;
+use topology::{FaultSet, NodeGraph};
+
+/// Runs Algorithm 2 over an explicit node ordering.
+///
+/// * `order` — the nodes in HBD (deployment) order; adjacent elements are HBD
+///   neighbours.
+/// * `k` — the OCSTrx bundle count (hop reach) of the topology.
+/// * `faults` — the faulty node set.
+/// * `nodes_per_group` — `m`, the nodes per TP group.
+///
+/// Returns the placement scheme that maximises GPU utilisation (every healthy
+/// component is packed greedily).
+pub fn orchestrate_dcn_free(
+    order: &[NodeId],
+    k: usize,
+    faults: &FaultSet,
+    nodes_per_group: usize,
+) -> PlacementScheme {
+    assert!(nodes_per_group > 0, "TP groups need at least one node");
+    assert!(k > 0, "K must be at least 1");
+    if order.is_empty() {
+        return PlacementScheme::new();
+    }
+
+    // Build the K-hop graph over *positions* in the given order, then map back
+    // to node ids. Using positions keeps the graph dense even when `order` is
+    // a subset of the cluster (e.g. one sub-line of the fat-tree deployment).
+    let mut graph = NodeGraph::new(order.len());
+    for i in 0..order.len() {
+        for hop in 1..=k {
+            if i + hop < order.len() {
+                graph.add_edge(NodeId(i), NodeId(i + hop));
+            }
+        }
+    }
+
+    // Healthy subgraph + connected components (the DFS of Algorithm 2).
+    let healthy_positions: Vec<NodeId> = order
+        .iter()
+        .enumerate()
+        .filter(|(_, node)| !faults.is_faulty(**node))
+        .map(|(i, _)| NodeId(i))
+        .collect();
+    let healthy_graph = graph.induced_subgraph(|pos| {
+        pos.index() < order.len() && !faults.is_faulty(order[pos.index()])
+    });
+    let components = healthy_graph.connected_components(&healthy_positions);
+
+    // Cut each component (already sorted in HBD order) into groups of m.
+    let mut scheme = PlacementScheme::new();
+    for component in components {
+        let nodes: Vec<NodeId> = component.iter().map(|pos| order[pos.index()]).collect();
+        for chunk in nodes.chunks(nodes_per_group) {
+            if chunk.len() == nodes_per_group {
+                scheme.push(TpGroup::new(chunk.to_vec()));
+            }
+        }
+    }
+    scheme
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn order(n: usize) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    fn faults(nodes: &[usize]) -> FaultSet {
+        FaultSet::from_nodes(nodes.iter().map(|&n| NodeId(n)))
+    }
+
+    #[test]
+    fn healthy_cluster_is_packed_completely() {
+        let scheme = orchestrate_dcn_free(&order(32), 2, &FaultSet::new(), 8);
+        assert_eq!(scheme.len(), 4);
+        assert_eq!(scheme.nodes_placed(), 32);
+        assert!(scheme.validate(8, &BTreeSet::new()).is_ok());
+        // Groups follow deployment order.
+        assert_eq!(scheme.groups[0].nodes[0], NodeId(0));
+        assert_eq!(scheme.groups[3].nodes[7], NodeId(31));
+    }
+
+    #[test]
+    fn single_fault_is_bypassed_and_costs_at_most_one_group() {
+        let scheme = orchestrate_dcn_free(&order(33), 2, &faults(&[5]), 8);
+        // 32 healthy nodes remain in one component -> 4 groups.
+        assert_eq!(scheme.len(), 4);
+        let placed: BTreeSet<NodeId> = scheme
+            .groups
+            .iter()
+            .flat_map(|g| g.nodes.iter().copied())
+            .collect();
+        assert!(!placed.contains(&NodeId(5)));
+    }
+
+    #[test]
+    fn unbypassable_fault_run_splits_components() {
+        // K = 2, two consecutive faults split the line; each side packs its own
+        // groups and the remainders are wasted independently.
+        let scheme = orchestrate_dcn_free(&order(20), 2, &faults(&[9, 10]), 4);
+        // Left component: nodes 0..8 (9 nodes) -> 2 groups; right: 11..19 (9) -> 2.
+        assert_eq!(scheme.len(), 4);
+        // With K = 3 the same faults are bypassed: 18 healthy nodes -> 4 groups
+        // in one component plus the remainder.
+        let scheme3 = orchestrate_dcn_free(&order(20), 3, &faults(&[9, 10]), 4);
+        assert_eq!(scheme3.len(), 4);
+        assert_eq!(scheme3.nodes_placed(), 16);
+    }
+
+    #[test]
+    fn groups_never_contain_faulty_nodes() {
+        let f = faults(&[1, 7, 13]);
+        let scheme = orchestrate_dcn_free(&order(24), 3, &f, 4);
+        let faulty: BTreeSet<NodeId> = f.iter().collect();
+        assert!(scheme.validate(4, &faulty).is_ok());
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_schemes() {
+        assert!(orchestrate_dcn_free(&[], 2, &FaultSet::new(), 4).is_empty());
+        let all_faulty = faults(&[0, 1, 2, 3]);
+        assert!(orchestrate_dcn_free(&order(4), 2, &all_faulty, 2).is_empty());
+    }
+
+    #[test]
+    fn works_on_non_contiguous_node_orderings() {
+        // A sub-line of the deployment: nodes 0, 16, 32, 48 are HBD neighbours
+        // even though their ids are far apart.
+        let subline: Vec<NodeId> = (0..8).map(|i| NodeId(i * 16)).collect();
+        let scheme = orchestrate_dcn_free(&subline, 2, &faults(&[32]), 2);
+        // 7 healthy nodes in one component -> 3 groups of 2.
+        assert_eq!(scheme.len(), 3);
+        for group in &scheme.groups {
+            for node in &group.nodes {
+                assert_eq!(node.index() % 16, 0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_group_size_is_rejected() {
+        let _ = orchestrate_dcn_free(&order(4), 2, &FaultSet::new(), 0);
+    }
+}

@@ -1,0 +1,300 @@
+//! `Placement-Fat-Tree` and the binary-search driver `Orchestration-Fat-Tree`
+//! (Algorithms 1, 4 and 5 of the paper).
+//!
+//! The Fat-Tree DCN adds two constraints on top of the DCN-free orchestration:
+//!
+//! * **Aggregation-domain constraint** — a TP group should not span two
+//!   aggregation-switch domains (its pipeline / context traffic would cross the
+//!   core layer);
+//! * **Alignment constraint** — every node under one ToR should carry the same
+//!   TP-group rank, so the orthogonal DP/CP traffic stays under the ToR. To
+//!   preserve alignment in the presence of faults, a fault under an "aligned"
+//!   ToR takes the whole ToR out of service (expanding the failure radius by a
+//!   factor of `p`), which costs capacity.
+//!
+//! Because constraints cost capacity, Algorithm 5 binary-searches the number of
+//! applied constraints: it keeps as many as possible while still finding enough
+//! healthy nodes for the job. Sub-line-segment constraints are applied first
+//! (cheap), ToR-alignment constraints second (expensive), matching the paper's
+//! ordering ("first relaxes the TP Group alignment constraints ... then relaxes
+//! the TP Group crossing constraints").
+
+use crate::dcn_free::orchestrate_dcn_free;
+use crate::deployment::DeploymentStrategy;
+use crate::scheme::PlacementScheme;
+use hbd_types::{HbdError, NodeId, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use topology::{FatTree, FaultSet};
+
+/// What the job needs from the orchestrator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrchestrationRequest {
+    /// Number of nodes the job needs (`s / r` in the paper's notation).
+    pub job_nodes: usize,
+    /// Nodes per TP group (`m = t / r`).
+    pub nodes_per_group: usize,
+    /// OCSTrx bundle count of the K-Hop topology.
+    pub k: usize,
+}
+
+impl OrchestrationRequest {
+    /// Validates the request.
+    pub fn validate(&self) -> Result<()> {
+        if self.nodes_per_group == 0 {
+            return Err(HbdError::invalid_config("nodes_per_group must be positive"));
+        }
+        if self.k == 0 {
+            return Err(HbdError::invalid_config("K must be positive"));
+        }
+        if self.job_nodes == 0 {
+            return Err(HbdError::invalid_config("job must request at least one node"));
+        }
+        Ok(())
+    }
+}
+
+/// The Fat-Tree-aware orchestrator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FatTreeOrchestrator {
+    deployment: DeploymentStrategy,
+    fat_tree: FatTree,
+}
+
+impl FatTreeOrchestrator {
+    /// Creates an orchestrator for the given Fat-Tree DCN. The deployment
+    /// wiring (Algorithm 3) is derived from the same rack layout.
+    pub fn new(fat_tree: FatTree) -> Result<Self> {
+        let deployment = DeploymentStrategy::new(fat_tree.nodes(), fat_tree.nodes_per_tor())?;
+        Ok(FatTreeOrchestrator {
+            deployment,
+            fat_tree,
+        })
+    }
+
+    /// The underlying deployment wiring.
+    pub fn deployment(&self) -> &DeploymentStrategy {
+        &self.deployment
+    }
+
+    /// The DCN this orchestrator targets.
+    pub fn fat_tree(&self) -> &FatTree {
+        &self.fat_tree
+    }
+
+    /// Number of sub-line segments (one per sub-line per aggregation domain) —
+    /// the pool of "segment" constraints available to the binary search.
+    pub fn segment_constraints(&self) -> usize {
+        self.fat_tree.aggregation_domains() * self.deployment.sublines()
+    }
+
+    /// Number of aggregation domains — the pool of "alignment" constraints.
+    pub fn alignment_constraints(&self) -> usize {
+        self.fat_tree.aggregation_domains()
+    }
+
+    /// `Placement-Fat-Tree` (Algorithm 4): places TP groups with the first
+    /// `n_constraints` constraints applied.
+    pub fn placement_with_constraints(
+        &self,
+        request: &OrchestrationRequest,
+        faults: &FaultSet,
+        n_constraints: usize,
+    ) -> PlacementScheme {
+        let p = self.deployment.sublines();
+        let tors_per_domain = self.fat_tree.nodes_per_aggregation_domain() / p;
+        let n_segments = self.segment_constraints();
+        let constrained_segments = n_constraints.min(n_segments);
+        let aligned_domains = n_constraints.saturating_sub(n_segments);
+
+        // Alignment constraint: inside the first `aligned_domains` domains, a
+        // faulty node takes its whole ToR out of service so the surviving nodes
+        // keep matching ranks.
+        let mut effective = faults.clone();
+        for node in faults.iter() {
+            let domain = node.index() / self.fat_tree.nodes_per_aggregation_domain();
+            if domain < aligned_domains {
+                let tor_start = node.index() / p * p;
+                for peer in tor_start..(tor_start + p).min(self.fat_tree.nodes()) {
+                    effective.add(NodeId(peer));
+                }
+            }
+        }
+
+        let mut scheme = PlacementScheme::new();
+        let mut consumed: BTreeSet<NodeId> = BTreeSet::new();
+
+        // Segment constraint: the first `constrained_segments` sub-line
+        // segments each place their TP groups entirely within themselves
+        // (same sub-line, same aggregation domain).
+        'segments: for seg in 0..constrained_segments {
+            let domain = seg / p;
+            let subline = seg % p;
+            let Ok(nodes) = self
+                .deployment
+                .subline_segment(subline, domain, tors_per_domain)
+            else {
+                break 'segments;
+            };
+            let placed = orchestrate_dcn_free(&nodes, request.k, &effective, request.nodes_per_group);
+            for group in &placed.groups {
+                consumed.extend(group.nodes.iter().copied());
+            }
+            consumed.extend(nodes);
+            scheme.extend(placed);
+        }
+
+        // Residual: everything not consumed by a constrained segment is
+        // orchestrated as one long HBD line (groups may now cross domains and
+        // lose alignment — that is the relaxation).
+        let residual: Vec<NodeId> = self
+            .deployment
+            .deployment_order()
+            .into_iter()
+            .filter(|n| !consumed.contains(n))
+            .collect();
+        let rest = orchestrate_dcn_free(&residual, request.k, &effective, request.nodes_per_group);
+        scheme.extend(rest);
+
+        self.assign_dp_ranks(&mut scheme);
+        scheme
+    }
+
+    /// `Orchestration-Fat-Tree` (Algorithms 1 and 5): binary-search the number
+    /// of constraints, keeping as many as possible while still satisfying the
+    /// job scale. Returns the placement truncated to the job's group count, or
+    /// an error if even the fully relaxed placement cannot satisfy the job.
+    pub fn orchestrate(
+        &self,
+        request: &OrchestrationRequest,
+        faults: &FaultSet,
+    ) -> Result<PlacementScheme> {
+        request.validate()?;
+        let job_groups = request.job_nodes.div_ceil(request.nodes_per_group);
+        let needed_nodes = job_groups * request.nodes_per_group;
+
+        let mut low = 0usize;
+        let mut high = self.segment_constraints() + self.alignment_constraints();
+        let mut best: Option<(usize, PlacementScheme)> = None;
+        while low <= high {
+            let mid = (low + high) / 2;
+            let placement = self.placement_with_constraints(request, faults, mid);
+            if placement.nodes_placed() >= needed_nodes {
+                best = Some((mid, placement));
+                low = mid + 1;
+            } else {
+                if mid == 0 {
+                    break;
+                }
+                high = mid - 1;
+            }
+        }
+
+        let (_, mut placement) = best.ok_or_else(|| {
+            HbdError::infeasible(format!(
+                "job needs {needed_nodes} nodes but the cluster cannot provide them under the current fault pattern"
+            ))
+        })?;
+        placement.truncate(job_groups);
+        Ok(placement)
+    }
+
+    /// Orders the groups for DP-rank assignment so that groups whose rank-0
+    /// nodes share a ToR (and hence, under alignment, share every rank's ToR)
+    /// become DP neighbours — the "align ranks within each ToR" objective.
+    fn assign_dp_ranks(&self, scheme: &mut PlacementScheme) {
+        scheme.groups.sort_by_key(|group| {
+            let head = group.nodes.first().copied().unwrap_or(NodeId(0));
+            let tor = head.index() / self.deployment.sublines();
+            let domain = head.index() / self.fat_tree.nodes_per_aggregation_domain();
+            (domain, tor, head.index())
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{cross_tor_rate, TrafficModel};
+    use std::collections::BTreeSet;
+
+    fn orchestrator() -> FatTreeOrchestrator {
+        // 512 nodes, 16 per ToR, 8 ToRs per aggregation domain (so one sub-line
+        // segment can host a full 8-node TP group, as in the paper's 8k-GPU
+        // setup).
+        FatTreeOrchestrator::new(FatTree::new(512, 16, 8).unwrap()).unwrap()
+    }
+
+    fn request(job_nodes: usize) -> OrchestrationRequest {
+        OrchestrationRequest {
+            job_nodes,
+            nodes_per_group: 8,
+            k: 2,
+        }
+    }
+
+    #[test]
+    fn constraint_pools_match_layout() {
+        let orch = orchestrator();
+        assert_eq!(orch.alignment_constraints(), 4);
+        assert_eq!(orch.segment_constraints(), 4 * 16);
+    }
+
+    #[test]
+    fn healthy_cluster_satisfies_large_jobs_with_full_constraints() {
+        let orch = orchestrator();
+        let placement = orch.orchestrate(&request(384), &FaultSet::new()).unwrap();
+        assert!(placement.nodes_placed() >= 384);
+        assert!(placement.validate(8, &BTreeSet::new()).is_ok());
+    }
+
+    #[test]
+    fn orchestrated_placement_has_near_zero_cross_tor_traffic() {
+        let orch = orchestrator();
+        let faults = FaultSet::from_nodes((0..10).map(|i| NodeId(i * 37)));
+        let placement = orch.orchestrate(&request(400), &faults).unwrap();
+        let rate = cross_tor_rate(&placement, orch.fat_tree(), &TrafficModel::paper_tp32());
+        assert!(rate < 0.02, "optimized cross-ToR rate should be near zero, got {rate}");
+    }
+
+    #[test]
+    fn relaxing_constraints_increases_capacity() {
+        let orch = orchestrator();
+        // Concentrated faults in domain 0 make constrained placement expensive.
+        let faults = FaultSet::from_nodes((0..32).map(NodeId));
+        let req = request(400);
+        let strict = orch.placement_with_constraints(&req, &faults, orch.segment_constraints() + orch.alignment_constraints());
+        let relaxed = orch.placement_with_constraints(&req, &faults, 0);
+        assert!(relaxed.nodes_placed() >= strict.nodes_placed());
+    }
+
+    #[test]
+    fn oversized_jobs_are_rejected() {
+        let orch = orchestrator();
+        assert!(orch.orchestrate(&request(1000), &FaultSet::new()).is_err());
+        // Invalid request parameters are rejected too.
+        let bad = OrchestrationRequest {
+            job_nodes: 0,
+            nodes_per_group: 8,
+            k: 2,
+        };
+        assert!(orch.orchestrate(&bad, &FaultSet::new()).is_err());
+    }
+
+    #[test]
+    fn placement_never_uses_faulty_nodes() {
+        let orch = orchestrator();
+        let faults = FaultSet::from_nodes((0..40).map(|i| NodeId(i * 11)));
+        let placement = orch.orchestrate(&request(300), &faults).unwrap();
+        let faulty: BTreeSet<NodeId> = faults.iter().collect();
+        assert!(placement.validate(8, &faulty).is_ok());
+    }
+
+    #[test]
+    fn groups_respect_the_requested_size() {
+        let orch = orchestrator();
+        let placement = orch.orchestrate(&request(128), &FaultSet::new()).unwrap();
+        assert!(placement.groups.iter().all(|g| g.len() == 8));
+        assert_eq!(placement.len(), 16);
+    }
+}

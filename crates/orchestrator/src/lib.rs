@@ -1,0 +1,35 @@
+//! The HBD-DCN orchestration algorithms (§4.3 and Appendix D).
+//!
+//! InfiniteHBD lets any run of healthy nodes form a TP ring, so the remaining
+//! freedom — *which* nodes form each TP group and *which DP rank* each group
+//! takes — is what decides how much DP/CP/PP traffic has to cross ToR switches
+//! in the DCN. This crate implements:
+//!
+//! * [`scheme`] — the placement-scheme data model (ordered TP groups of nodes),
+//! * [`dcn_free`] — `Orchestration-DCN-Free` (Algorithm 2): connected
+//!   components of the healthy K-Hop graph, cut into TP groups,
+//! * [`deployment`] — `Deployment-Strategy` (Algorithm 3): the interleaved
+//!   physical wiring that makes HBD neighbours live under different ToRs,
+//! * [`fat_tree`] — `Placement-Fat-Tree` (Algorithm 4) and the binary-search
+//!   driver `Orchestration-Fat-Tree` (Algorithms 1 and 5),
+//! * [`greedy`] — the baseline of §6.4: pick healthy nodes in arbitrary order
+//!   and use the first grouping that satisfies the job,
+//! * [`traffic`] — cross-ToR traffic accounting for a placement scheme
+//!   (the metric of Fig 17a–c).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dcn_free;
+pub mod deployment;
+pub mod fat_tree;
+pub mod greedy;
+pub mod scheme;
+pub mod traffic;
+
+pub use dcn_free::orchestrate_dcn_free;
+pub use deployment::DeploymentStrategy;
+pub use fat_tree::{FatTreeOrchestrator, OrchestrationRequest};
+pub use greedy::greedy_placement;
+pub use scheme::{PlacementScheme, TpGroup};
+pub use traffic::{cross_tor_rate, TrafficModel};

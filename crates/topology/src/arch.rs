@@ -1,0 +1,252 @@
+//! The common interface of every HBD architecture, plus the utilization report
+//! that the fault-resilience experiments are built on.
+//!
+//! §2.1 of the paper defines the **GPU waste ratio** of an HBD as
+//! `{(HBD_size − N_fault) mod TP_size} / HBD_size` — the healthy GPUs that
+//! cannot be used because of fragmentation, topology disconnection or bandwidth
+//! degradation. This module generalises that formula to a per-architecture
+//! [`UtilizationReport`], letting every architecture apply its own placement
+//! constraints (NVLink domains, TPU cubes, ring segments, ...).
+
+use hbd_types::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The set of currently-faulty nodes.
+///
+/// Faults are tracked at node granularity because the production trace the
+/// paper uses records node-level fault events (most are GPU faults, and a node
+/// with any faulty GPU is taken out of service for training).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSet {
+    nodes: BTreeSet<NodeId>,
+}
+
+impl FaultSet {
+    /// Creates an empty fault set (fully healthy cluster).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a fault set from an iterator of faulty nodes.
+    pub fn from_nodes<I: IntoIterator<Item = NodeId>>(nodes: I) -> Self {
+        FaultSet {
+            nodes: nodes.into_iter().collect(),
+        }
+    }
+
+    /// Marks a node as faulty. Returns `true` if it was previously healthy.
+    pub fn add(&mut self, node: NodeId) -> bool {
+        self.nodes.insert(node)
+    }
+
+    /// Marks a node as repaired. Returns `true` if it was previously faulty.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        self.nodes.remove(&node)
+    }
+
+    /// Whether the given node is faulty.
+    pub fn is_faulty(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// Number of faulty nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no node is faulty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates over the faulty nodes in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Fault ratio over a cluster of `total_nodes` nodes.
+    pub fn node_fault_ratio(&self, total_nodes: usize) -> f64 {
+        if total_nodes == 0 {
+            0.0
+        } else {
+            self.len() as f64 / total_nodes as f64
+        }
+    }
+}
+
+impl FromIterator<NodeId> for FaultSet {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        Self::from_nodes(iter)
+    }
+}
+
+/// How many GPUs an architecture can actually put to work under a given fault
+/// pattern and TP size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UtilizationReport {
+    /// Total GPUs in the cluster (healthy + faulty).
+    pub total_gpus: usize,
+    /// GPUs on faulty nodes.
+    pub faulty_gpus: usize,
+    /// Healthy GPUs that can be organised into complete TP groups under the
+    /// architecture's placement constraints.
+    pub usable_gpus: usize,
+    /// Healthy GPUs that cannot be used (fragmentation, broken rings, cube
+    /// granularity, reserved backups, ...).
+    pub wasted_healthy_gpus: usize,
+}
+
+impl UtilizationReport {
+    /// Builds a report, checking internal consistency.
+    pub fn new(total_gpus: usize, faulty_gpus: usize, usable_gpus: usize) -> Self {
+        assert!(
+            faulty_gpus + usable_gpus <= total_gpus,
+            "faulty ({faulty_gpus}) + usable ({usable_gpus}) GPUs exceed total ({total_gpus})"
+        );
+        UtilizationReport {
+            total_gpus,
+            faulty_gpus,
+            usable_gpus,
+            wasted_healthy_gpus: total_gpus - faulty_gpus - usable_gpus,
+        }
+    }
+
+    /// Healthy GPUs (usable + wasted).
+    pub fn healthy_gpus(&self) -> usize {
+        self.total_gpus - self.faulty_gpus
+    }
+
+    /// The paper's *GPU waste ratio*: wasted healthy GPUs over total GPUs.
+    pub fn waste_ratio(&self) -> f64 {
+        if self.total_gpus == 0 {
+            0.0
+        } else {
+            self.wasted_healthy_gpus as f64 / self.total_gpus as f64
+        }
+    }
+
+    /// Fraction of all GPUs that are usable.
+    pub fn usable_ratio(&self) -> f64 {
+        if self.total_gpus == 0 {
+            0.0
+        } else {
+            self.usable_gpus as f64 / self.total_gpus as f64
+        }
+    }
+
+    /// Number of complete TP groups of `tp_size` GPUs that fit in the usable
+    /// capacity.
+    pub fn tp_groups(&self, tp_size: usize) -> usize {
+        assert!(tp_size > 0, "TP size must be positive");
+        self.usable_gpus / tp_size
+    }
+}
+
+/// Which family an architecture belongs to (Table 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArchitectureKind {
+    /// Switch chips provide all connectivity (NVL series).
+    SwitchCentric,
+    /// Direct GPU-to-GPU links, GPUs forward traffic (Dojo, TPUv3, SiP-Ring).
+    GpuCentric,
+    /// GPU meshes stitched by centralized optical switches (TPUv4/TPUv5p).
+    SwitchGpuHybrid,
+    /// OCS embedded in every transceiver (InfiniteHBD).
+    TransceiverCentric,
+    /// The idealised Big-Switch upper bound.
+    Ideal,
+}
+
+/// Common behaviour of every HBD architecture in the evaluation.
+pub trait HbdArchitecture {
+    /// Human-readable name, matching the legend strings of the paper's figures.
+    fn name(&self) -> &str;
+
+    /// Architecture family.
+    fn kind(&self) -> ArchitectureKind;
+
+    /// Number of nodes in the cluster.
+    fn nodes(&self) -> usize;
+
+    /// GPUs per node.
+    fn gpus_per_node(&self) -> usize;
+
+    /// Total GPUs in the cluster.
+    fn total_gpus(&self) -> usize {
+        self.nodes() * self.gpus_per_node()
+    }
+
+    /// Computes how many GPUs can be organised into complete TP groups of
+    /// `tp_size` GPUs when the nodes in `faults` are out of service.
+    fn utilization(&self, faults: &FaultSet, tp_size: usize) -> UtilizationReport;
+
+    /// The *fault explosion radius* of a single node fault: how many GPUs
+    /// (including the faulty node's own) lose full bandwidth when one node
+    /// fails in an otherwise healthy cluster. Table 1 compares architectures on
+    /// this metric.
+    fn fault_explosion_radius(&self, tp_size: usize) -> usize {
+        let baseline = self.utilization(&FaultSet::new(), tp_size);
+        let mut faults = FaultSet::new();
+        faults.add(NodeId(self.nodes() / 2));
+        let degraded = self.utilization(&faults, tp_size);
+        baseline.usable_gpus.saturating_sub(degraded.usable_gpus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_set_basic_operations() {
+        let mut faults = FaultSet::new();
+        assert!(faults.is_empty());
+        assert!(faults.add(NodeId(3)));
+        assert!(!faults.add(NodeId(3)));
+        assert!(faults.is_faulty(NodeId(3)));
+        assert!(!faults.is_faulty(NodeId(4)));
+        assert_eq!(faults.len(), 1);
+        assert!(faults.remove(NodeId(3)));
+        assert!(!faults.remove(NodeId(3)));
+        assert!(faults.is_empty());
+    }
+
+    #[test]
+    fn fault_set_from_iterator_deduplicates() {
+        let faults: FaultSet = [NodeId(1), NodeId(2), NodeId(1)].into_iter().collect();
+        assert_eq!(faults.len(), 2);
+        let nodes: Vec<NodeId> = faults.iter().collect();
+        assert_eq!(nodes, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn fault_ratio_is_fraction_of_nodes() {
+        let faults = FaultSet::from_nodes([NodeId(0), NodeId(5)]);
+        assert!((faults.node_fault_ratio(100) - 0.02).abs() < 1e-12);
+        assert_eq!(faults.node_fault_ratio(0), 0.0);
+    }
+
+    #[test]
+    fn utilization_report_accounts_for_every_gpu() {
+        let report = UtilizationReport::new(2880, 40, 2816);
+        assert_eq!(report.wasted_healthy_gpus, 24);
+        assert_eq!(report.healthy_gpus(), 2840);
+        assert!((report.waste_ratio() - 24.0 / 2880.0).abs() < 1e-12);
+        assert!((report.usable_ratio() - 2816.0 / 2880.0).abs() < 1e-12);
+        assert_eq!(report.tp_groups(32), 88);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed total")]
+    fn inconsistent_report_is_rejected() {
+        let _ = UtilizationReport::new(100, 60, 60);
+    }
+
+    #[test]
+    fn empty_cluster_report_is_all_zero() {
+        let report = UtilizationReport::new(0, 0, 0);
+        assert_eq!(report.waste_ratio(), 0.0);
+        assert_eq!(report.usable_ratio(), 0.0);
+    }
+}

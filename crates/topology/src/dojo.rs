@@ -1,0 +1,228 @@
+//! A GPU-centric 2-D mesh HBD in the style of Tesla Dojo / TPUv3 (Figure 1c).
+//!
+//! Nodes are arranged on a `rows × cols` grid and connected to their four
+//! neighbours; GPUs themselves forward traffic, so there is no switch tier and
+//! the interconnect cost scales linearly — but the *fault explosion radius* is
+//! HBD-level: a faulty node no longer forwards, so every node that depended on
+//! it for X/Y-routed bandwidth is degraded. Following the illustration in the
+//! paper (the yellow nodes around the red fault), the model marks the faulty
+//! node's entire mesh row and column as bandwidth-degraded; degraded nodes are
+//! healthy but cannot join a full-bandwidth TP group.
+//!
+//! This is intentionally a *coarse* model (the real Dojo can reroute around
+//! single faults at reduced bandwidth); it exists as the GPU-centric extreme of
+//! Table 1, between SiP-Ring (1-D, fixed rings) and the switch-assisted
+//! architectures.
+
+use crate::arch::{ArchitectureKind, FaultSet, HbdArchitecture, UtilizationReport};
+use crate::graph::NodeGraph;
+use hbd_types::{HbdError, NodeId, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A 2-D mesh of nodes with GPU-forwarded traffic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DojoMesh {
+    rows: usize,
+    cols: usize,
+    gpus_per_node: usize,
+    /// Number of populated grid positions, when the grid is not completely
+    /// filled (set by [`DojoMesh::square`]); `None` means every position holds
+    /// a node.
+    populated: Option<usize>,
+}
+
+impl DojoMesh {
+    /// Creates a `rows × cols` mesh of nodes with `gpus_per_node` GPUs each.
+    pub fn new(rows: usize, cols: usize, gpus_per_node: usize) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(HbdError::invalid_config("mesh needs at least one row and one column"));
+        }
+        if gpus_per_node == 0 {
+            return Err(HbdError::invalid_config("nodes need at least one GPU"));
+        }
+        Ok(DojoMesh { rows, cols, gpus_per_node, populated: None })
+    }
+
+    /// Builds the most-square mesh that holds `nodes` nodes (the last row may
+    /// be partial in node count terms; the grid is sized `rows × cols ≥ nodes`
+    /// but only `nodes` positions are populated).
+    pub fn square(nodes: usize, gpus_per_node: usize) -> Result<Self> {
+        if nodes == 0 {
+            return Err(HbdError::invalid_config("mesh needs at least one node"));
+        }
+        let cols = (nodes as f64).sqrt().ceil() as usize;
+        let rows = nodes.div_ceil(cols);
+        let mut mesh = Self::new(rows, cols, gpus_per_node)?;
+        mesh.truncate_to(nodes);
+        Ok(mesh)
+    }
+
+    fn truncate_to(&mut self, nodes: usize) {
+        // Represented implicitly: positions >= nodes simply do not exist. We
+        // keep rows*cols as the grid shape and `nodes()` reports the populated
+        // count.
+        self.populated = Some(nodes.min(self.rows * self.cols));
+    }
+
+    /// Grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Grid coordinates of a node.
+    pub fn position(&self, node: NodeId) -> (usize, usize) {
+        (node.index() / self.cols, node.index() % self.cols)
+    }
+
+    /// The mesh connectivity graph (4-neighbour grid).
+    pub fn graph(&self) -> NodeGraph {
+        let n = self.nodes();
+        let mut graph = NodeGraph::new(n);
+        for i in 0..n {
+            let (r, c) = self.position(NodeId(i));
+            if c + 1 < self.cols && i + 1 < n {
+                graph.add_edge(NodeId(i), NodeId(i + 1));
+            }
+            if r + 1 < self.rows && i + self.cols < n {
+                graph.add_edge(NodeId(i), NodeId(i + self.cols));
+            }
+        }
+        graph
+    }
+
+    /// Nodes that lose full bandwidth because of `faults`: the faulty nodes
+    /// themselves plus every populated node sharing a row or column with one.
+    pub fn degraded_nodes(&self, faults: &FaultSet) -> BTreeSet<NodeId> {
+        let mut rows = BTreeSet::new();
+        let mut cols = BTreeSet::new();
+        for node in faults.iter() {
+            if node.index() >= self.nodes() {
+                continue;
+            }
+            let (r, c) = self.position(node);
+            rows.insert(r);
+            cols.insert(c);
+        }
+        (0..self.nodes())
+            .map(NodeId)
+            .filter(|&n| {
+                let (r, c) = self.position(n);
+                faults.is_faulty(n) || rows.contains(&r) || cols.contains(&c)
+            })
+            .collect()
+    }
+}
+
+impl HbdArchitecture for DojoMesh {
+    fn name(&self) -> &str {
+        "Dojo-Mesh"
+    }
+
+    fn kind(&self) -> ArchitectureKind {
+        ArchitectureKind::GpuCentric
+    }
+
+    fn nodes(&self) -> usize {
+        self.populated.unwrap_or(self.rows * self.cols)
+    }
+
+    fn gpus_per_node(&self) -> usize {
+        self.gpus_per_node
+    }
+
+    fn utilization(&self, faults: &FaultSet, tp_size: usize) -> UtilizationReport {
+        assert!(tp_size > 0, "TP size must be positive");
+        let total_nodes = self.nodes();
+        let faulty_nodes = (0..total_nodes)
+            .filter(|&n| faults.is_faulty(NodeId(n)))
+            .count();
+        let degraded = self.degraded_nodes(faults);
+        let full_bandwidth_nodes = total_nodes - degraded.len();
+        let usable = (full_bandwidth_nodes * self.gpus_per_node / tp_size) * tp_size;
+        UtilizationReport::new(
+            total_nodes * self.gpus_per_node,
+            faulty_nodes * self.gpus_per_node,
+            usable,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_shape() {
+        assert!(DojoMesh::new(0, 4, 4).is_err());
+        assert!(DojoMesh::new(4, 0, 4).is_err());
+        assert!(DojoMesh::new(4, 4, 0).is_err());
+        assert!(DojoMesh::square(0, 4).is_err());
+        let mesh = DojoMesh::new(4, 4, 4).unwrap();
+        assert_eq!(mesh.nodes(), 16);
+        assert_eq!(mesh.total_gpus(), 64);
+    }
+
+    #[test]
+    fn square_builder_covers_the_requested_node_count() {
+        let mesh = DojoMesh::square(20, 4).unwrap();
+        assert_eq!(mesh.nodes(), 20);
+        assert!(mesh.rows() * mesh.cols() >= 20);
+    }
+
+    #[test]
+    fn grid_graph_has_the_right_degrees() {
+        let mesh = DojoMesh::new(3, 3, 4).unwrap();
+        let graph = mesh.graph();
+        // Corner, edge and centre degrees of a 3x3 grid.
+        assert_eq!(graph.degree(NodeId(0)), 2);
+        assert_eq!(graph.degree(NodeId(1)), 3);
+        assert_eq!(graph.degree(NodeId(4)), 4);
+        assert_eq!(graph.edge_count(), 12);
+    }
+
+    #[test]
+    fn healthy_mesh_has_only_fragmentation_waste() {
+        let mesh = DojoMesh::new(4, 4, 4).unwrap();
+        let report = mesh.utilization(&FaultSet::new(), 16);
+        assert_eq!(report.wasted_healthy_gpus, 0);
+        let report = mesh.utilization(&FaultSet::new(), 24);
+        // 64 GPUs / 24 => 2 groups of 24, 16 wasted.
+        assert_eq!(report.usable_gpus, 48);
+        assert_eq!(report.wasted_healthy_gpus, 16);
+    }
+
+    #[test]
+    fn single_fault_degrades_its_row_and_column() {
+        let mesh = DojoMesh::new(4, 4, 4).unwrap();
+        let faults = FaultSet::from_nodes([NodeId(5)]); // row 1, col 1
+        let degraded = mesh.degraded_nodes(&faults);
+        assert_eq!(degraded.len(), 4 + 4 - 1);
+        let report = mesh.utilization(&faults, 8);
+        assert_eq!(report.faulty_gpus, 4);
+        // 16 - 7 = 9 full-bandwidth nodes = 36 GPUs => 4 groups of 8.
+        assert_eq!(report.usable_gpus, 32);
+    }
+
+    #[test]
+    fn dojo_fault_radius_dwarfs_the_khop_ring() {
+        use crate::khop_ring::KHopRing;
+        let mesh = DojoMesh::new(8, 8, 4).unwrap();
+        let ring = KHopRing::new(64, 4, 2).unwrap();
+        assert!(mesh.fault_explosion_radius(16) > ring.fault_explosion_radius(16));
+    }
+
+    #[test]
+    fn faults_outside_the_populated_grid_are_ignored() {
+        let mesh = DojoMesh::square(10, 4).unwrap();
+        let faults = FaultSet::from_nodes([NodeId(50)]);
+        let report = mesh.utilization(&faults, 8);
+        assert_eq!(report.faulty_gpus, 0);
+        assert_eq!(report.wasted_healthy_gpus, 0);
+    }
+}

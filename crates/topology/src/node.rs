@@ -1,0 +1,157 @@
+//! The compute node: `R` GPUs and `R` OCSTrx bundles on a UBB 2.0 baseboard.
+//!
+//! Fig 4 of the paper: each bundle is shared by a *pair* of GPUs — one GPU
+//! drives the upper-half SerDes of the bundle's modules, the other the lower
+//! half. A node with `R` GPUs therefore supports up to `R` bundles and exposes
+//! up to `2R` external paths (each bundle has a primary and a backup fiber),
+//! which is what allows the K-Hop Ring with `K ≤ R`.
+
+use hbd_types::{GpuId, HbdError, NodeId, Result};
+use ocstrx::{Bundle, BundleState};
+use serde::{Deserialize, Serialize};
+
+/// A compute node of the InfiniteHBD cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    id: NodeId,
+    gpus_per_node: usize,
+    bundles: Vec<Bundle>,
+    healthy: bool,
+}
+
+impl Node {
+    /// Creates a node with `gpus_per_node` GPUs and `bundle_count` OCSTrx
+    /// bundles of `modules_per_bundle` transceivers each.
+    ///
+    /// The paper's K-Hop Ring requires `bundle_count == K`; the remaining GPU
+    /// pairs are connected with DAC links (the cost-reduced option of §4.2), so
+    /// `bundle_count` may be less than `gpus_per_node`.
+    pub fn new(
+        id: NodeId,
+        gpus_per_node: usize,
+        bundle_count: usize,
+        modules_per_bundle: usize,
+    ) -> Result<Self> {
+        if gpus_per_node == 0 || gpus_per_node % 2 != 0 {
+            return Err(HbdError::invalid_config(format!(
+                "a node needs a positive, even GPU count (got {gpus_per_node})"
+            )));
+        }
+        if bundle_count > gpus_per_node {
+            return Err(HbdError::invalid_config(format!(
+                "bundle count {bundle_count} exceeds GPU count {gpus_per_node}"
+            )));
+        }
+        Ok(Node {
+            id,
+            gpus_per_node,
+            bundles: (0..bundle_count)
+                .map(|_| Bundle::new(modules_per_bundle))
+                .collect::<Result<Vec<_>>>()?,
+            healthy: true,
+        })
+    }
+
+    /// Node identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// GPUs hosted on this node.
+    pub fn gpus(&self) -> impl Iterator<Item = GpuId> + '_ {
+        self.id.gpus(self.gpus_per_node)
+    }
+
+    /// Number of GPUs on the node.
+    pub fn gpu_count(&self) -> usize {
+        self.gpus_per_node
+    }
+
+    /// Number of OCSTrx bundles installed.
+    pub fn bundle_count(&self) -> usize {
+        self.bundles.len()
+    }
+
+    /// Whether this node is currently healthy.
+    pub fn is_healthy(&self) -> bool {
+        self.healthy
+    }
+
+    /// Marks the node faulty (all bundles stop carrying traffic from the
+    /// perspective of its neighbours).
+    pub fn set_faulty(&mut self) {
+        self.healthy = false;
+    }
+
+    /// Marks the node repaired.
+    pub fn set_repaired(&mut self) {
+        self.healthy = true;
+    }
+
+    /// Immutable access to a bundle.
+    pub fn bundle(&self, index: usize) -> Result<&Bundle> {
+        self.bundles
+            .get(index)
+            .ok_or_else(|| HbdError::unknown_entity(format!("bundle {index} on node {}", self.id)))
+    }
+
+    /// Mutable access to a bundle.
+    pub fn bundle_mut(&mut self, index: usize) -> Result<&mut Bundle> {
+        let id = self.id;
+        self.bundles
+            .get_mut(index)
+            .ok_or_else(|| HbdError::unknown_entity(format!("bundle {index} on node {id}")))
+    }
+
+    /// Number of bundles currently closed into intra-node loopback (ring
+    /// endpoints). During ring construction only two bundles per node carry
+    /// inter-node traffic; the rest are loopback or idle (§4.2).
+    pub fn loopback_bundles(&self) -> usize {
+        self.bundles
+            .iter()
+            .filter(|b| b.state() == BundleState::Loopback)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_creation_and_gpu_enumeration() {
+        let node = Node::new(NodeId(2), 4, 2, 1).unwrap();
+        assert_eq!(node.id(), NodeId(2));
+        assert_eq!(node.gpu_count(), 4);
+        assert_eq!(node.bundle_count(), 2);
+        let gpus: Vec<GpuId> = node.gpus().collect();
+        assert_eq!(gpus, vec![GpuId(8), GpuId(9), GpuId(10), GpuId(11)]);
+    }
+
+    #[test]
+    fn invalid_nodes_are_rejected() {
+        assert!(Node::new(NodeId(0), 0, 0, 1).is_err());
+        assert!(Node::new(NodeId(0), 3, 1, 1).is_err());
+        assert!(Node::new(NodeId(0), 4, 5, 1).is_err());
+    }
+
+    #[test]
+    fn health_toggling() {
+        let mut node = Node::new(NodeId(0), 4, 2, 1).unwrap();
+        assert!(node.is_healthy());
+        node.set_faulty();
+        assert!(!node.is_healthy());
+        node.set_repaired();
+        assert!(node.is_healthy());
+    }
+
+    #[test]
+    fn bundle_access_and_loopback_count() {
+        let mut node = Node::new(NodeId(0), 4, 3, 1).unwrap();
+        assert!(node.bundle(0).is_ok());
+        assert!(node.bundle(3).is_err());
+        assert_eq!(node.loopback_bundles(), 0);
+        node.bundle_mut(1).unwrap().activate_loopback().unwrap();
+        assert_eq!(node.loopback_bundles(), 1);
+    }
+}

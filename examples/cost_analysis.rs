@@ -1,0 +1,52 @@
+//! Cost and power analysis: reproduce Table 6 and the aggregate-cost view of
+//! Fig 17d for a 3K-GPU cluster running TP-32.
+//!
+//! Run with: `cargo run -p infinitehbd --example cost_analysis --release`
+
+use infinitehbd::cost::normalized_aggregate_cost;
+use infinitehbd::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<()> {
+    println!(
+        "{:<18} {:>12} {:>10} {:>12} {:>12}",
+        "architecture", "$/GPU", "W/GPU", "$/GBps", "W/GBps"
+    );
+    for row in NormalizedCost::table6() {
+        println!(
+            "{:<18} {:>12.2} {:>10.2} {:>12.2} {:>12.3}",
+            row.name, row.cost_per_gpu, row.watts_per_gpu, row.cost_per_gbyteps, row.watts_per_gbyteps
+        );
+    }
+
+    // Aggregate cost under faults: waste feeds back into economics.
+    let nodes = 720;
+    let mut rng = StdRng::seed_from_u64(3);
+    println!("\naggregate cost (normalized, 2,880 GPUs, TP-32):");
+    println!("{:>12} {:>18} {:>12} {:>12}", "fault ratio", "InfiniteHBD(K=2)", "NVL-72", "TPUv4");
+    for ratio in [0.0, 0.05, 0.10, 0.20] {
+        let faults = FaultSet::from_nodes(IidFaultModel::new(nodes, ratio).sample_exact(&mut rng));
+        let mut row = vec![format!("{:>11.0}%", ratio * 100.0)];
+        for (arch, bom) in [
+            (
+                Box::new(KHopRing::new(nodes, 4, 2)?) as Box<dyn HbdArchitecture>,
+                ArchitectureBom::infinitehbd_k2(),
+            ),
+            (Box::new(Nvl::new(nodes, 4, NvlVariant::Nvl72)), ArchitectureBom::nvl72()),
+            (Box::new(TpuV4::new(nodes, 4)), ArchitectureBom::tpuv4()),
+        ] {
+            let report = arch.utilization(&faults, 32);
+            let cost = normalized_aggregate_cost(&AggregateCostInput {
+                gpu_cost: Dollars(25_000.0),
+                total_gpus: report.total_gpus,
+                faulty_gpus: report.faulty_gpus,
+                wasted_gpus: report.wasted_healthy_gpus,
+                interconnect_cost_per_gpu: Dollars(bom.cost_per_gbyteps() * 800.0),
+            });
+            row.push(format!("{cost:>12.1}"));
+        }
+        println!("{}", row.join(" "));
+    }
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Quickstart: build an InfiniteHBD cluster, inject a few faults, and look at
+//! how the K-Hop Ring keeps (almost) every healthy GPU usable.
+//!
+//! Run with: `cargo run -p infinitehbd --example quickstart`
+
+use infinitehbd::prelude::*;
+
+fn main() -> Result<()> {
+    // A 2,880-GPU cluster: 720 nodes with 4 GPUs each, wired as the paper's
+    // K = 3 reconfigurable ring.
+    let ring = KHopRing::new(720, 4, 3)?;
+    println!("cluster: {} nodes x {} GPUs = {} GPUs, topology {}",
+        ring.nodes(), ring.gpus_per_node(), ring.total_gpus(), ring.name());
+
+    // The transceiver that makes this possible: a QSFP-DD 800G module with an
+    // embedded optical circuit switch.
+    let mut trx = OcsTrx::new();
+    let latency = trx.reconfigure(PathId::External2)?;
+    println!(
+        "OCSTrx fail-over onto the backup fiber takes {latency} (spec: 60-80 us)"
+    );
+
+    // Healthy cluster, TP-32: everything is usable.
+    let healthy = ring.utilization(&FaultSet::new(), 32);
+    println!(
+        "healthy: {} usable GPUs, waste ratio {:.2}%",
+        healthy.usable_gpus,
+        healthy.waste_ratio() * 100.0
+    );
+
+    // Now fail 2% of the nodes at random-ish positions.
+    let faults = FaultSet::from_nodes((0..14).map(|i| NodeId(i * 51)));
+    let report = ring.utilization(&faults, 32);
+    println!(
+        "with {} faulty nodes: {} usable GPUs, waste ratio {:.2}% (faulty GPUs excluded)",
+        faults.len(),
+        report.usable_gpus,
+        report.waste_ratio() * 100.0
+    );
+
+    // Compare against a switch-centric NVL-72 deployment of the same GPUs.
+    let nvl = Nvl::new(720, 4, NvlVariant::Nvl72);
+    let nvl_report = nvl.utilization(&faults, 32);
+    println!(
+        "NVL-72 on the same faults: waste ratio {:.2}% (fragmentation dominates)",
+        nvl_report.waste_ratio() * 100.0
+    );
+
+    // And the economics: interconnect cost per GPU per GBps (Table 6).
+    for bom in [ArchitectureBom::infinitehbd_k2(), ArchitectureBom::nvl72()] {
+        println!(
+            "{:<18} ${:>8.2}/GPU  {:>5.2} $/GBps",
+            bom.name,
+            bom.cost_per_gpu().value(),
+            bom.cost_per_gbyteps()
+        );
+    }
+    Ok(())
+}

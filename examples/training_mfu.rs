@@ -1,0 +1,39 @@
+//! Training-performance study: search the parallelism space for Llama 3.1-405B
+//! at increasing cluster sizes, with and without the TP-8 cap of a conventional
+//! 8-GPU HBD (the Table-2 experiment and the headline MFU claim).
+//!
+//! Run with: `cargo run -p infinitehbd --example training_mfu --release`
+
+use infinitehbd::prelude::*;
+
+fn main() -> Result<()> {
+    let search = StrategySearch::paper_defaults();
+    let model = ModelConfig::llama31_405b();
+
+    println!(
+        "{:>8} {:>18} {:>8} {:>10} {:>10}",
+        "GPUs", "optimal (TP/PP/DP)", "MFU", "MFU TP<=8", "improve"
+    );
+    for gpus in [1024usize, 4096, 16384, 65536] {
+        let free = search.optimal(&model, gpus)?;
+        let capped = search.optimal_with_tp_cap(&model, gpus, 8)?;
+        println!(
+            "{:>8} {:>18} {:>8.4} {:>10.4} {:>9.2}x",
+            gpus,
+            format!("{}", free.strategy),
+            free.mfu,
+            capped.mfu,
+            free.mfu / capped.mfu
+        );
+    }
+
+    // MoE: TP vs EP under expert imbalance (the Table-4 comparison).
+    let moe = ModelConfig::gpt_moe_1t();
+    let sim = TrainingSimulator::paper_defaults();
+    let tp_strategy = ParallelismStrategy::new(16, 8, 8);
+    let ep_strategy = ParallelismStrategy::new(8, 8, 16).with_ep(8);
+    println!("\nGPT-MoE 1.1T on 1,024 GPUs (20% expert imbalance):");
+    println!("  TP-sharded experts : MFU {:.4}", sim.estimate(&moe, &tp_strategy)?.mfu);
+    println!("  EP-routed  experts : MFU {:.4}", sim.estimate(&moe, &ep_strategy)?.mfu);
+    Ok(())
+}

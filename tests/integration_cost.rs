@@ -1,0 +1,87 @@
+//! Cross-crate integration tests for the cost analysis (§6.5): Table 6 and the
+//! aggregate-cost behaviour of Fig 17d, driven by the topology waste models.
+
+use infinitehbd::cost::normalized_aggregate_cost;
+use infinitehbd::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn headline_cost_reductions_hold() {
+    // "3.24x and 1.59x cost reductions compared to NVIDIA NVL-72 and Google
+    // TPUv4" (per GBps of per-GPU bandwidth).
+    let k2 = ArchitectureBom::infinitehbd_k2().cost_per_gbyteps();
+    let nvl72 = ArchitectureBom::nvl72().cost_per_gbyteps();
+    let tpuv4 = ArchitectureBom::tpuv4().cost_per_gbyteps();
+    assert!((nvl72 / k2 - 3.24).abs() < 0.05, "vs NVL-72: {}", nvl72 / k2);
+    assert!((tpuv4 / k2 - 1.59).abs() < 0.05, "vs TPUv4: {}", tpuv4 / k2);
+}
+
+#[test]
+fn table6_ordering_matches_the_paper() {
+    let table = NormalizedCost::table6();
+    let get = |name: &str| {
+        table
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("missing row {name}"))
+            .cost_per_gbyteps
+    };
+    assert!(get("InfiniteHBD(K=2)") < get("InfiniteHBD(K=3)"));
+    assert!(get("InfiniteHBD(K=3)") < get("TPUv4"));
+    assert!(get("TPUv4") < get("NVL-36"));
+    assert!(get("NVL-36") < get("NVL-36x2"));
+    assert!(get("NVL-36x2") < get("NVL-576"));
+}
+
+#[test]
+fn aggregate_cost_ranks_infinitehbd_cheapest_across_fault_ratios() {
+    // Fig 17d: InfiniteHBD consistently exhibits the lowest aggregate cost.
+    let nodes = 720;
+    let mut rng = StdRng::seed_from_u64(31);
+    for ratio in [0.0, 0.05, 0.10, 0.20] {
+        let faults =
+            FaultSet::from_nodes(IidFaultModel::new(nodes, ratio).sample_exact(&mut rng));
+        // Compare architectures at an equal 800 GBps of per-GPU HBD bandwidth
+        // (the paper's Fig 17d compares interconnects normalised per GBps;
+        // otherwise TPUv4's 300 GBps fabric would look artificially cheap).
+        let cost = |arch: &dyn HbdArchitecture, bom: &ArchitectureBom| {
+            let report = arch.utilization(&faults, 32);
+            normalized_aggregate_cost(&AggregateCostInput {
+                gpu_cost: Dollars(25_000.0),
+                total_gpus: report.total_gpus,
+                faulty_gpus: report.faulty_gpus,
+                wasted_gpus: report.wasted_healthy_gpus,
+                interconnect_cost_per_gpu: Dollars(bom.cost_per_gbyteps() * 800.0),
+            })
+        };
+        let ring = KHopRing::new(nodes, 4, 2).unwrap();
+        let infinite = cost(&ring, &ArchitectureBom::infinitehbd_k2());
+        let nvl = cost(&Nvl::new(nodes, 4, NvlVariant::Nvl72), &ArchitectureBom::nvl72());
+        let nvl576 = cost(&Nvl::new(nodes, 4, NvlVariant::Nvl576), &ArchitectureBom::nvl576());
+        let tpu = cost(&TpuV4::new(nodes, 4), &ArchitectureBom::tpuv4());
+        assert!(infinite < nvl, "fault ratio {ratio}: {infinite} vs NVL {nvl}");
+        assert!(infinite < nvl576);
+        assert!(infinite < tpu, "fault ratio {ratio}: {infinite} vs TPUv4 {tpu}");
+    }
+}
+
+#[test]
+fn k2_is_cheaper_than_k3_at_low_fault_ratios() {
+    // §6.5: below a ~12% fault ratio the K=2 configuration is the better buy.
+    let nodes = 720;
+    let mut rng = StdRng::seed_from_u64(33);
+    let faults = FaultSet::from_nodes(IidFaultModel::new(nodes, 0.05).sample_exact(&mut rng));
+    let cost = |k: usize, bom: &ArchitectureBom| {
+        let ring = KHopRing::new(nodes, 4, k).unwrap();
+        let report = ring.utilization(&faults, 32);
+        normalized_aggregate_cost(&AggregateCostInput {
+            gpu_cost: Dollars(25_000.0),
+            total_gpus: report.total_gpus,
+            faulty_gpus: report.faulty_gpus,
+            wasted_gpus: report.wasted_healthy_gpus,
+            interconnect_cost_per_gpu: bom.cost_per_gpu(),
+        })
+    };
+    assert!(cost(2, &ArchitectureBom::infinitehbd_k2()) <= cost(3, &ArchitectureBom::infinitehbd_k3()));
+}

@@ -1,0 +1,98 @@
+//! Cross-crate integration tests for the training simulator (§2.3 and §6.3):
+//! the Table-2/4/5 trends, reproduced end to end through the public API.
+
+use infinitehbd::prelude::*;
+
+#[test]
+fn table2_trend_optimal_tp_grows_and_tp8_gap_widens() {
+    let search = StrategySearch::paper_defaults();
+    let model = ModelConfig::llama31_405b();
+    let sizes = [1024usize, 8192, 65536];
+    let mut previous_tp = 0usize;
+    let mut previous_gain = 0.0f64;
+    for gpus in sizes {
+        let free = search.optimal(&model, gpus).unwrap();
+        let capped = search.optimal_with_tp_cap(&model, gpus, 8).unwrap();
+        assert!(free.mfu >= capped.mfu - 1e-9);
+        assert!(
+            free.strategy.tp >= previous_tp,
+            "optimal TP shrank from {previous_tp} to {} at {gpus} GPUs",
+            free.strategy.tp
+        );
+        let gain = free.mfu / capped.mfu;
+        assert!(
+            gain >= previous_gain - 0.05,
+            "TP-8 gap should widen with scale ({previous_gain} -> {gain})"
+        );
+        previous_tp = free.strategy.tp;
+        previous_gain = gain;
+    }
+    // At 65k GPUs the unconstrained HBD delivers a multiple of the TP-8 MFU
+    // (the paper reports 2.5x at 65k and 3.37x at 131k).
+    assert!(previous_gain > 1.5, "final gain {previous_gain}");
+}
+
+#[test]
+fn table4_trend_ep_loses_to_tp_as_imbalance_grows() {
+    let model = ModelConfig::gpt_moe_1t();
+    let mut sim = TrainingSimulator::paper_defaults();
+    let ep = ParallelismStrategy::new(8, 8, 16).with_ep(8);
+    let tp = ParallelismStrategy::new(16, 8, 8);
+    let mut previous = f64::MAX;
+    for coefficient in [0.0, 0.1, 0.2, 0.3] {
+        sim.imbalance = infinitehbd::llmsim::ExpertImbalance::new(coefficient);
+        let ep_mfu = sim.estimate(&model, &ep).unwrap().mfu;
+        let tp_mfu = sim.estimate(&model, &tp).unwrap().mfu;
+        assert!(ep_mfu <= previous + 1e-12, "EP MFU should fall with imbalance");
+        previous = ep_mfu;
+        if coefficient >= 0.2 {
+            assert!(
+                tp_mfu > ep_mfu * 0.95,
+                "TP ({tp_mfu}) should be competitive with EP ({ep_mfu}) at {coefficient}"
+            );
+        }
+    }
+}
+
+#[test]
+fn table5_trend_moe_optimum_avoids_ep_and_scales_tp() {
+    let search = StrategySearch::paper_defaults();
+    let model = ModelConfig::gpt_moe_1t();
+    let small = search.optimal(&model, 1024).unwrap();
+    let large = search.optimal(&model, 16384).unwrap();
+    assert_eq!(small.strategy.ep, 1);
+    assert_eq!(large.strategy.ep, 1);
+    assert!(large.strategy.tp >= small.strategy.tp);
+    assert!(large.mfu < small.mfu);
+}
+
+#[test]
+fn section52_ring_allreduce_utilisation_matches_prototype() {
+    let model = RingUtilization::paper_calibrated();
+    let ring16 = model.ring_utilization(16);
+    let ring32 = model.ring_utilization(32);
+    assert!((ring16 - 0.7711).abs() < 0.02);
+    assert!((ring32 - 0.7726).abs() < 0.02);
+    assert!(model.switch_utilization() > ring32);
+    // Large-message AllReduce on the paper's 800 GBps HBD link comes close to
+    // the algorithmic bound.
+    let link = AlphaBeta::hbd_default();
+    let cost = RingAllReduce::new(32).cost(Bytes(8e9), &link);
+    assert!(cost.utilization(&link) > 0.9);
+}
+
+#[test]
+fn headline_mfu_improvement_over_dgx_class_hbd() {
+    // "improves Model FLOPs Utilization by 3.37x compared to NVIDIA DGX
+    // (8 GPUs/node)" - measured at the largest cluster size of Table 2. We
+    // assert a >2x gap at 131,072 GPUs (the shape, not the exact factor).
+    let search = StrategySearch::paper_defaults();
+    let model = ModelConfig::llama31_405b();
+    let free = search.optimal(&model, 131_072).unwrap();
+    let dgx = search.optimal_with_tp_cap(&model, 131_072, 8).unwrap();
+    assert!(
+        free.mfu / dgx.mfu > 2.0,
+        "expected a large MFU gap at 131k GPUs, got {}x",
+        free.mfu / dgx.mfu
+    );
+}
