@@ -40,7 +40,11 @@ fn bench_alltoall_costing(c: &mut Criterion) {
             let mut total = 0.0;
             for p in [8usize, 64, 512] {
                 for algo in AllToAllAlgorithm::ALL {
-                    total += algo.cost(p, Bytes(4e6), &link, Seconds(70e-6)).cost.time.value();
+                    total += algo
+                        .cost(p, Bytes(4e6), &link, Seconds(70e-6))
+                        .cost
+                        .time
+                        .value();
                 }
             }
             black_box(total)

@@ -29,7 +29,11 @@ fn bench_plan_diff(c: &mut Criterion) {
     let planner = FailoverPlanner::new(ring).unwrap();
     let before = planner.plan(&FaultSet::new()).unwrap();
     let after = planner
-        .plan(&FaultSet::from_nodes([NodeId(100), NodeId(1000), NodeId(1500)]))
+        .plan(&FaultSet::from_nodes([
+            NodeId(100),
+            NodeId(1000),
+            NodeId(1500),
+        ]))
         .unwrap();
     c.bench_function("plan_diff_2048_nodes", |b| {
         b.iter(|| black_box(before.diff(&after).len()))

@@ -19,8 +19,8 @@ fn scenario(nodes: usize) -> (DcnNetwork, Vec<infinitehbd::dcn::Flow>) {
         k: 2,
     };
     let placement = orchestrator.orchestrate(&request, &faults).unwrap();
-    let network = DcnNetwork::new(tree, NetworkParams::non_blocking(16, 4).oversubscribed(2.0))
-        .unwrap();
+    let network =
+        DcnNetwork::new(tree, NetworkParams::non_blocking(16, 4).oversubscribed(2.0)).unwrap();
     let flows = dp_ring_flows(&placement, &TrafficSpec::paper_dp_allreduce());
     (network, flows)
 }

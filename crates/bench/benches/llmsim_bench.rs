@@ -37,5 +37,10 @@ fn bench_moe_search(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_single_estimate, bench_strategy_search, bench_moe_search);
+criterion_group!(
+    benches,
+    bench_single_estimate,
+    bench_strategy_search,
+    bench_moe_search
+);
 criterion_main!(benches);

@@ -52,7 +52,13 @@ fn bench_cross_tor_accounting(c: &mut Criterion) {
     };
     let placement = orch.orchestrate(&request, &faults).unwrap();
     c.bench_function("cross_tor_rate_2048_nodes", |b| {
-        b.iter(|| black_box(cross_tor_rate(&placement, &tree, &TrafficModel::paper_tp32())))
+        b.iter(|| {
+            black_box(cross_tor_rate(
+                &placement,
+                &tree,
+                &TrafficModel::paper_tp32(),
+            ))
+        })
     });
 }
 

@@ -46,5 +46,10 @@ fn bench_trace_generation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_utilization, bench_trace_replay, bench_trace_generation);
+criterion_group!(
+    benches,
+    bench_utilization,
+    bench_trace_replay,
+    bench_trace_generation
+);
 criterion_main!(benches);

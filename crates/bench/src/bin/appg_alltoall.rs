@@ -10,7 +10,14 @@ fn main() {
     let link = AlphaBeta::hbd_default();
     let block = Bytes(4e6);
     let reconfig = Seconds(70e-6);
-    let header = ["group p", "algorithm", "rounds", "MB/rank", "time (ms)", "runnable on InfiniteHBD"];
+    let header = [
+        "group p",
+        "algorithm",
+        "rounds",
+        "MB/rank",
+        "time (ms)",
+        "runnable on InfiniteHBD",
+    ];
     let mut rows = Vec::new();
     for p in [8usize, 16, 64, 256, 1024] {
         for algo in AllToAllAlgorithm::ALL {
@@ -30,5 +37,10 @@ fn main() {
             ]);
         }
     }
-    emit(&args, "Appendix G: AllToAll algorithm comparison", &header, &rows);
+    emit(
+        &args,
+        "Appendix G: AllToAll algorithm comparison",
+        &header,
+        &rows,
+    );
 }

@@ -22,7 +22,9 @@ fn main() {
         nodes_per_group: 8,
         k: 2,
     };
-    let optimized = orchestrator.orchestrate(&request, &faults).expect("job fits");
+    let optimized = orchestrator
+        .orchestrate(&request, &faults)
+        .expect("job fits");
     let baseline = greedy_placement(nodes, &faults, 8, request.job_nodes, &mut rng);
     let spec = TrafficSpec::paper_dp_allreduce();
 

@@ -24,13 +24,15 @@ fn main() {
     let mut rows = Vec::new();
     for k in [2usize, 3, 4] {
         let ring = KHopRing::new(720, 4, k).expect("valid ring");
-        let mut hw = ClusterManager::new(ring.clone(), ControlLatencies::hardware_only())
-            .expect("manager");
+        let mut hw =
+            ClusterManager::new(ring.clone(), ControlLatencies::hardware_only()).expect("manager");
         let hw_report = hw.inject_fault(NodeId(360), Seconds(10.0)).expect("fault");
 
-        let mut prod = ClusterManager::new(ring, ControlLatencies::production_defaults())
-            .expect("manager");
-        let prod_report = prod.inject_fault(NodeId(360), Seconds(10.0)).expect("fault");
+        let mut prod =
+            ClusterManager::new(ring, ControlLatencies::production_defaults()).expect("manager");
+        let prod_report = prod
+            .inject_fault(NodeId(360), Seconds(10.0))
+            .expect("fault");
 
         rows.push(vec![
             k.to_string(),

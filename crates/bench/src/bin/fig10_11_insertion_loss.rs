@@ -8,7 +8,13 @@ fn main() {
     let args = HarnessArgs::parse();
     let mut rng = args.rng();
     let model = InsertionLossModel::paper_calibrated();
-    let header = ["temp (C)", "avg loss (dB)", "min (dB)", "max (dB)", "units sampled"];
+    let header = [
+        "temp (C)",
+        "avg loss (dB)",
+        "min (dB)",
+        "max (dB)",
+        "units sampled",
+    ];
     let mut rows = Vec::new();
     for temp in [0.0, 25.0, 50.0, 85.0] {
         let samples = model.sample_population(temp, 400, &mut rng);
@@ -23,7 +29,12 @@ fn main() {
             samples.len().to_string(),
         ]);
     }
-    emit(&args, "Fig 10a/11: OCSTrx insertion loss vs temperature", &header, &rows);
+    emit(
+        &args,
+        "Fig 10a/11: OCSTrx insertion loss vs temperature",
+        &header,
+        &rows,
+    );
 
     // Histogram for the Fig-11 distributions at 25C.
     let samples = model.sample_population(25.0, 400, &mut rng);
@@ -35,5 +46,10 @@ fn main() {
         let count = samples.iter().filter(|&&s| s >= lo && s < hi).count();
         rows.push(vec![format!("{lo:.2}-{hi:.2}"), count.to_string()]);
     }
-    emit(&args, "Fig 11b: insertion-loss distribution at 25C", &header, &rows);
+    emit(
+        &args,
+        "Fig 11b: insertion-loss distribution at 25C",
+        &header,
+        &rows,
+    );
 }

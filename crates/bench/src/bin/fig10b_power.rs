@@ -7,7 +7,13 @@ use infinitehbd::ocstrx::{PathId, PowerModel};
 fn main() {
     let args = HarnessArgs::parse();
     let model = PowerModel::paper_calibrated();
-    let header = ["temp (C)", "Path 1 (W)", "Path 2 (W)", "Path 3 (W)", "total (W)"];
+    let header = [
+        "temp (C)",
+        "Path 1 (W)",
+        "Path 2 (W)",
+        "Path 3 (W)",
+        "total (W)",
+    ];
     let mut rows = Vec::new();
     for temp in [0.0, 25.0, 50.0, 85.0] {
         rows.push(vec![

@@ -2,8 +2,8 @@
 //! amplitude and ambient temperature.
 
 use bench::{emit, HarnessArgs};
-use infinitehbd::ocstrx::{BerModel, OpticalConditions};
 use infinitehbd::ocstrx::optics::OmaSweep;
+use infinitehbd::ocstrx::{BerModel, OpticalConditions};
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -16,13 +16,25 @@ fn main() {
         let mut row = vec![format!("{oma:.2}")];
         for temp in [-5.0, 25.0, 50.0, 75.0] {
             let ber = model.measure(
-                OpticalConditions { temperature_c: temp, oma_mw: oma },
+                OpticalConditions {
+                    temperature_c: temp,
+                    oma_mw: oma,
+                },
                 10_000_000_000,
                 &mut rng,
             );
-            row.push(if ber == 0.0 { "0".to_string() } else { format!("{ber:.1e}") });
+            row.push(if ber == 0.0 {
+                "0".to_string()
+            } else {
+                format!("{ber:.1e}")
+            });
         }
         rows.push(row);
     }
-    emit(&args, "Fig 12: OCSTrx BER vs OMA and temperature", &header, &rows);
+    emit(
+        &args,
+        "Fig 12: OCSTrx BER vs OMA and temperature",
+        &header,
+        &rows,
+    );
 }

@@ -11,7 +11,13 @@ fn main() {
     for tp in [8usize, 16, 32, 64] {
         let study = ClusterStudy::new(config.clone(), tp, Seconds::from_days(348.0), args.seed)
             .expect("valid study");
-        let header = ["architecture", "p50 waste (%)", "p90 waste (%)", "p99 waste (%)", "mean (%)"];
+        let header = [
+            "architecture",
+            "p50 waste (%)",
+            "p90 waste (%)",
+            "p99 waste (%)",
+            "mean (%)",
+        ];
         let mut rows = Vec::new();
         for arch in paper_architectures(config.nodes, config.node_size.gpus(), tp) {
             let points = waste_over_trace(arch.as_ref(), study.trace(), tp, 348);
@@ -26,6 +32,11 @@ fn main() {
                 fmt(mean * 100.0, 2),
             ]);
         }
-        emit(&args, &format!("Fig 13/21: GPU waste ratio CDF summary, TP-{tp}"), &header, &rows);
+        emit(
+            &args,
+            &format!("Fig 13/21: GPU waste ratio CDF summary, TP-{tp}"),
+            &header,
+            &rows,
+        );
     }
 }

@@ -27,6 +27,11 @@ fn main() {
             }
             rows.push(row);
         }
-        emit(&args, &format!("Fig 14/22: waste ratio (%) vs node fault ratio, TP-{tp}"), &header_refs, &rows);
+        emit(
+            &args,
+            &format!("Fig 14/22: waste ratio (%) vs node fault ratio, TP-{tp}"),
+            &header_refs,
+            &rows,
+        );
     }
 }

@@ -9,7 +9,11 @@ fn main() {
     let args = HarnessArgs::parse();
     let config = ClusterConfig::paper_2880_gpu();
     let mut header: Vec<String> = vec!["architecture".to_string()];
-    header.extend(["TP8", "TP16", "TP32", "TP64"].iter().map(|s| s.to_string()));
+    header.extend(
+        ["TP8", "TP16", "TP32", "TP64"]
+            .iter()
+            .map(|s| s.to_string()),
+    );
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let arch_names: Vec<String> = paper_architectures(config.nodes, 4, 32)
         .iter()
@@ -24,5 +28,10 @@ fn main() {
             table[i].push(job.to_string());
         }
     }
-    emit(&args, "Fig 15: maximal job scale (GPUs) supported by 2,880 GPUs", &header_refs, &table);
+    emit(
+        &args,
+        "Fig 15: maximal job scale (GPUs) supported by 2,880 GPUs",
+        &header_refs,
+        &table,
+    );
 }

@@ -27,6 +27,11 @@ fn main() {
             }
             rows.push(row);
         }
-        emit(&args, &format!("Fig 16/23: fault-waiting rate (%) vs job scale, TP-{tp}"), &header_refs, &rows);
+        emit(
+            &args,
+            &format!("Fig 16/23: fault-waiting rate (%) vs job scale, TP-{tp}"),
+            &header_refs,
+            &rows,
+        );
     }
 }

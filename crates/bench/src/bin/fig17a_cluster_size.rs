@@ -28,5 +28,10 @@ fn main() {
             fmt(cross_tor_rate(&optimized, &tree, &model) * 100.0, 2),
         ]);
     }
-    emit(&args, "Fig 17a: cross-ToR rate vs cluster size (TP-32, 85% job, 5% faults)", &header, &rows);
+    emit(
+        &args,
+        "Fig 17a: cross-ToR rate vs cluster size (TP-32, 85% job, 5% faults)",
+        &header,
+        &rows,
+    );
 }

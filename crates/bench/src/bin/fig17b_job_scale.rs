@@ -32,5 +32,10 @@ fn main() {
             optimized,
         ]);
     }
-    emit(&args, "Fig 17b: cross-ToR rate vs job-scale ratio (8,192 GPUs, 5% faults)", &header, &rows);
+    emit(
+        &args,
+        "Fig 17b: cross-ToR rate vs job-scale ratio (8,192 GPUs, 5% faults)",
+        &header,
+        &rows,
+    );
 }

@@ -19,9 +19,8 @@ fn main() {
     };
     for ratio in [0.0, 0.01, 0.03, 0.05, 0.07, 0.09] {
         let mut rng = args.rng();
-        let faults = FaultSet::from_nodes(
-            IidFaultModel::new(config.nodes, ratio).sample_exact(&mut rng),
-        );
+        let faults =
+            FaultSet::from_nodes(IidFaultModel::new(config.nodes, ratio).sample_exact(&mut rng));
         let baseline = greedy_placement(config.nodes, &faults, 8, request.job_nodes, &mut rng);
         let optimized = match orch.orchestrate(&request, &faults) {
             Ok(p) => fmt(cross_tor_rate(&p, &tree, &model) * 100.0, 2),
@@ -33,5 +32,10 @@ fn main() {
             optimized,
         ]);
     }
-    emit(&args, "Fig 17c: cross-ToR rate vs node fault ratio (8,192 GPUs, 85% job)", &header, &rows);
+    emit(
+        &args,
+        "Fig 17c: cross-ToR rate vs node fault ratio (8,192 GPUs, 85% job)",
+        &header,
+        &rows,
+    );
 }

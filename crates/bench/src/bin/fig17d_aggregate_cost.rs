@@ -11,10 +11,22 @@ fn main() {
     let nodes = 720;
     let pairs: Vec<(Box<dyn HbdArchitecture>, ArchitectureBom)> = vec![
         (Box::new(TpuV4::new(nodes, 4)), ArchitectureBom::tpuv4()),
-        (Box::new(Nvl::new(nodes, 4, NvlVariant::Nvl36)), ArchitectureBom::nvl36()),
-        (Box::new(Nvl::new(nodes, 4, NvlVariant::Nvl72)), ArchitectureBom::nvl72()),
-        (Box::new(Nvl::new(nodes, 4, NvlVariant::Nvl36x2)), ArchitectureBom::nvl36x2()),
-        (Box::new(Nvl::new(nodes, 4, NvlVariant::Nvl576)), ArchitectureBom::nvl576()),
+        (
+            Box::new(Nvl::new(nodes, 4, NvlVariant::Nvl36)),
+            ArchitectureBom::nvl36(),
+        ),
+        (
+            Box::new(Nvl::new(nodes, 4, NvlVariant::Nvl72)),
+            ArchitectureBom::nvl72(),
+        ),
+        (
+            Box::new(Nvl::new(nodes, 4, NvlVariant::Nvl36x2)),
+            ArchitectureBom::nvl36x2(),
+        ),
+        (
+            Box::new(Nvl::new(nodes, 4, NvlVariant::Nvl576)),
+            ArchitectureBom::nvl576(),
+        ),
         (
             Box::new(KHopRing::new(nodes, 4, 2).expect("valid ring")),
             ArchitectureBom::infinitehbd_k2(),
@@ -31,8 +43,7 @@ fn main() {
     let mut rows = Vec::new();
     for ratio in ratios {
         let mut rng = args.rng();
-        let faults =
-            FaultSet::from_nodes(IidFaultModel::new(nodes, ratio).sample_exact(&mut rng));
+        let faults = FaultSet::from_nodes(IidFaultModel::new(nodes, ratio).sample_exact(&mut rng));
         let mut row = vec![fmt(ratio * 100.0, 0)];
         for (arch, bom) in &pairs {
             let report = arch.utilization(&faults, 32);
@@ -48,5 +59,10 @@ fn main() {
         }
         rows.push(row);
     }
-    emit(&args, "Fig 17d: normalized aggregate cost vs fault ratio (TP-32)", &header_refs, &rows);
+    emit(
+        &args,
+        "Fig 17d: normalized aggregate cost vs fault ratio (TP-32)",
+        &header_refs,
+        &rows,
+    );
 }

@@ -6,19 +6,40 @@ use infinitehbd::prelude::*;
 
 fn main() {
     let args = HarnessArgs::parse();
-    let generator = TraceGenerator::new(GeneratorConfig::paper_8gpu_cluster()).expect("valid config");
+    let generator =
+        TraceGenerator::new(GeneratorConfig::paper_8gpu_cluster()).expect("valid config");
     let trace = generator.generate(&mut args.rng());
     let stats = TraceStats::daily(&trace);
     let header = ["statistic", "value"];
     let rows = vec![
-        vec!["trace length (days)".to_string(), fmt(trace.duration().as_days(), 0)],
+        vec![
+            "trace length (days)".to_string(),
+            fmt(trace.duration().as_days(), 0),
+        ],
         vec!["fault events".to_string(), trace.len().to_string()],
-        vec!["mean fault-node ratio (%)".to_string(), fmt(stats.mean_ratio * 100.0, 2)],
-        vec!["p50 fault-node ratio (%)".to_string(), fmt(stats.p50_ratio * 100.0, 2)],
-        vec!["p99 fault-node ratio (%)".to_string(), fmt(stats.p99_ratio * 100.0, 2)],
-        vec!["max fault-node ratio (%)".to_string(), fmt(stats.max_ratio * 100.0, 2)],
+        vec![
+            "mean fault-node ratio (%)".to_string(),
+            fmt(stats.mean_ratio * 100.0, 2),
+        ],
+        vec![
+            "p50 fault-node ratio (%)".to_string(),
+            fmt(stats.p50_ratio * 100.0, 2),
+        ],
+        vec![
+            "p99 fault-node ratio (%)".to_string(),
+            fmt(stats.p99_ratio * 100.0, 2),
+        ],
+        vec![
+            "max fault-node ratio (%)".to_string(),
+            fmt(stats.max_ratio * 100.0, 2),
+        ],
     ];
-    emit(&args, "Fig 18: fault-trace statistics (paper: mean 2.33%, p50 1.67%, p99 7.22%)", &header, &rows);
+    emit(
+        &args,
+        "Fig 18: fault-trace statistics (paper: mean 2.33%, p50 1.67%, p99 7.22%)",
+        &header,
+        &rows,
+    );
 
     let cdf = stats.cdf();
     let header = ["fault ratio (%)", "CDF"];
@@ -27,5 +48,10 @@ fn main() {
         .step_by((cdf.len() / 12).max(1))
         .map(|&(ratio, p)| vec![fmt(ratio * 100.0, 2), fmt(p, 3)])
         .collect();
-    emit(&args, "Fig 18b: CDF of the daily fault-node ratio", &header, &rows);
+    emit(
+        &args,
+        "Fig 18b: CDF of the daily fault-node ratio",
+        &header,
+        &rows,
+    );
 }

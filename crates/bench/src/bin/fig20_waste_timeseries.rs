@@ -15,7 +15,10 @@ fn main() {
         .iter()
         .map(|arch| {
             let points = waste_over_trace(arch.as_ref(), study.trace(), tp, 58);
-            (arch.name().to_string(), points.iter().map(|p| p.waste_ratio).collect())
+            (
+                arch.name().to_string(),
+                points.iter().map(|p| p.waste_ratio).collect(),
+            )
         })
         .collect();
     let mut header: Vec<&str> = vec!["day"];
@@ -29,5 +32,10 @@ fn main() {
         }
         rows.push(row);
     }
-    emit(&args, "Fig 20: waste ratio (%) over the trace, TP-32", &header, &rows);
+    emit(
+        &args,
+        "Fig 20: waste ratio (%) over the trace, TP-32",
+        &header,
+        &rows,
+    );
 }

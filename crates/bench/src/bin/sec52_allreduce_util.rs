@@ -9,8 +9,14 @@ fn main() {
     let model = RingUtilization::paper_calibrated();
     let header = ["configuration", "bandwidth utilisation (%)"];
     let rows = vec![
-        vec!["16-GPU ring".to_string(), fmt(model.ring_utilization(16) * 100.0, 2)],
-        vec!["32-GPU ring".to_string(), fmt(model.ring_utilization(32) * 100.0, 2)],
+        vec![
+            "16-GPU ring".to_string(),
+            fmt(model.ring_utilization(16) * 100.0, 2),
+        ],
+        vec![
+            "32-GPU ring".to_string(),
+            fmt(model.ring_utilization(32) * 100.0, 2),
+        ],
         vec![
             "8-GPU NVLink switch (no SHARP)".to_string(),
             fmt(model.switch_utilization() * 100.0, 2),
@@ -20,5 +26,10 @@ fn main() {
             fmt(model.direct_link_latency_reduction() * 100.0, 0),
         ],
     ];
-    emit(&args, "Sec 5.2: AllReduce bandwidth utilisation", &header, &rows);
+    emit(
+        &args,
+        "Sec 5.2: AllReduce bandwidth utilisation",
+        &header,
+        &rows,
+    );
 }

@@ -25,5 +25,10 @@ fn main() {
             fmt(free.mfu / capped.mfu, 4),
         ]);
     }
-    emit(&args, "Table 2: Llama 3.1-405B optimal parallelism vs TP-8", &header, &rows);
+    emit(
+        &args,
+        "Table 2: Llama 3.1-405B optimal parallelism vs TP-8",
+        &header,
+        &rows,
+    );
 }

@@ -9,7 +9,12 @@ fn main() {
     let args = HarnessArgs::parse();
     let comm = CommModel::paper_defaults();
     let model = ModelConfig::gpt_moe_1t();
-    let header = ["parallel size n", "TP AllReduce (MB)", "EP AllToAll (MB)", "EP/TP"];
+    let header = [
+        "parallel size n",
+        "TP AllReduce (MB)",
+        "EP AllToAll (MB)",
+        "EP/TP",
+    ];
     let mut rows = Vec::new();
     for n in [2usize, 4, 8] {
         let tp = comm
@@ -22,5 +27,10 @@ fn main() {
             / 1e6;
         rows.push(vec![n.to_string(), fmt(tp, 1), fmt(ep, 1), fmt(ep / tp, 3)]);
     }
-    emit(&args, "Table 3: TP vs EP traffic per MoE layer (top-2 of 8 experts)", &header, &rows);
+    emit(
+        &args,
+        "Table 3: TP vs EP traffic per MoE layer (top-2 of 8 experts)",
+        &header,
+        &rows,
+    );
 }

@@ -17,7 +17,16 @@ fn main() {
         sim.imbalance = ExpertImbalance::new(coefficient);
         let tp = sim.estimate(&model, &tp_strategy).expect("TP fits").mfu;
         let ep = sim.estimate(&model, &ep_strategy).expect("EP fits").mfu;
-        rows.push(vec![fmt(coefficient * 100.0, 0) + "%", fmt(tp * 100.0, 1), fmt(ep * 100.0, 1)]);
+        rows.push(vec![
+            fmt(coefficient * 100.0, 0) + "%",
+            fmt(tp * 100.0, 1),
+            fmt(ep * 100.0, 1),
+        ]);
     }
-    emit(&args, "Table 4: TP vs EP for GPT-MoE under expert imbalance (1,024 GPUs)", &header, &rows);
+    emit(
+        &args,
+        "Table 4: TP vs EP for GPT-MoE under expert imbalance (1,024 GPUs)",
+        &header,
+        &rows,
+    );
 }

@@ -21,5 +21,10 @@ fn main() {
             fmt(best.mfu, 4),
         ]);
     }
-    emit(&args, "Table 5: GPT-MoE optimal parallelism (20% expert imbalance)", &header, &rows);
+    emit(
+        &args,
+        "Table 5: GPT-MoE optimal parallelism (20% expert imbalance)",
+        &header,
+        &rows,
+    );
 }

@@ -18,5 +18,10 @@ fn main() {
             ]
         })
         .collect();
-    emit(&args, "Table 6: interconnect cost and power", &header, &rows);
+    emit(
+        &args,
+        "Table 6: interconnect cost and power",
+        &header,
+        &rows,
+    );
 }

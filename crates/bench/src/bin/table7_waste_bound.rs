@@ -22,5 +22,10 @@ fn main() {
         }
         rows.push(row);
     }
-    emit(&args, "Table 7: waste-ratio upper bound (TP-32)", &header, &rows);
+    emit(
+        &args,
+        "Table 7: waste-ratio upper bound (TP-32)",
+        &header,
+        &rows,
+    );
 }

@@ -6,7 +6,15 @@ use infinitehbd::cost::ArchitectureBom;
 
 fn main() {
     let args = HarnessArgs::parse();
-    let header = ["architecture", "component", "quantity", "unit $", "unit W", "line $", "line W"];
+    let header = [
+        "architecture",
+        "component",
+        "quantity",
+        "unit $",
+        "unit W",
+        "line $",
+        "line W",
+    ];
     let mut rows = Vec::new();
     let mut boms = ArchitectureBom::table6_rows();
     boms.push(ArchitectureBom::alibaba_hpn());
@@ -32,5 +40,10 @@ fn main() {
             fmt(bom.total_power().value(), 1),
         ]);
     }
-    emit(&args, "Table 8: per-architecture bill of materials", &header, &rows);
+    emit(
+        &args,
+        "Table 8: per-architecture bill of materials",
+        &header,
+        &rows,
+    );
 }

@@ -48,11 +48,21 @@ impl HarnessArgs {
 /// Prints a named series as aligned columns.
 pub fn print_series(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("== {title} ==");
-    println!("{}", header.iter().map(|h| format!("{h:>16}")).collect::<Vec<_>>().join(" "));
+    println!(
+        "{}",
+        header
+            .iter()
+            .map(|h| format!("{h:>16}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
     for row in rows {
         println!(
             "{}",
-            row.iter().map(|c| format!("{c:>16}")).collect::<Vec<_>>().join(" ")
+            row.iter()
+                .map(|c| format!("{c:>16}"))
+                .collect::<Vec<_>>()
+                .join(" ")
         );
     }
     println!();
@@ -72,7 +82,10 @@ pub fn print_json(title: &str, header: &[&str], rows: &[Vec<String>]) {
         })
         .collect();
     let doc = serde_json::json!({ "experiment": title, "rows": records });
-    println!("{}", serde_json::to_string_pretty(&doc).expect("serialisable"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&doc).expect("serialisable")
+    );
 }
 
 /// Dispatches between the plain-text and JSON output paths.
@@ -95,13 +108,16 @@ mod tests {
 
     #[test]
     fn fmt_rounds_to_requested_precision() {
-        assert_eq!(fmt(3.14159, 2), "3.14");
-        assert_eq!(fmt(0.5236, 4), "0.5236");
+        assert_eq!(fmt(2.4652, 2), "2.47");
+        assert_eq!(fmt(0.4821, 4), "0.4821");
     }
 
     #[test]
     fn default_args_without_cli() {
-        let args = HarnessArgs { seed: 7, json: false };
+        let args = HarnessArgs {
+            seed: 7,
+            json: false,
+        };
         let _ = args.rng();
         assert_eq!(args.seed, 7);
     }

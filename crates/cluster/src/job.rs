@@ -45,9 +45,8 @@ pub fn fault_waiting_rate(
         .sample(samples)
         .into_iter()
         .filter(|(_, faulty)| {
-            let faults = FaultSet::from_nodes(
-                faulty.iter().copied().filter(|n| n.index() < arch.nodes()),
-            );
+            let faults =
+                FaultSet::from_nodes(faulty.iter().copied().filter(|n| n.index() < arch.nodes()));
             max_supported_job(arch, &faults, tp_size) < job_gpus
         })
         .count();
@@ -89,7 +88,10 @@ mod tests {
         let ring = KHopRing::new(720, 4, 3).unwrap();
         let worst = max_job_over_trace(&ring, &trace, 32, 100);
         assert!(worst <= 2880);
-        assert!(worst >= 2880 - 64 * 4, "InfiniteHBD should lose little capacity: {worst}");
+        assert!(
+            worst >= 2880 - 64 * 4,
+            "InfiniteHBD should lose little capacity: {worst}"
+        );
         let sip = SipRing::new(720, 4, 32).unwrap();
         let sip_worst = max_job_over_trace(&sip, &trace, 32, 100);
         assert!(sip_worst < worst);
@@ -102,7 +104,10 @@ mod tests {
         let small = fault_waiting_rate(&ring, &trace, 32, 2048, 200);
         let large = fault_waiting_rate(&ring, &trace, 32, 2880, 200);
         assert!(small <= large);
-        assert!(small < 0.05, "a 2,048-GPU job should almost never wait: {small}");
+        assert!(
+            small < 0.05,
+            "a 2,048-GPU job should almost never wait: {small}"
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ pub fn waste_ratio_upper_bound(input: &WasteBoundInput) -> f64 {
         (0.0..=1.0).contains(&input.node_failure_probability),
         "failure probability must lie in [0, 1]"
     );
-    assert!(input.tp_size >= input.gpus_per_node, "TP group must span at least one node");
+    assert!(
+        input.tp_size >= input.gpus_per_node,
+        "TP group must span at least one node"
+    );
     2.0 * (input.tp_size - input.gpus_per_node) as f64
         * input.node_failure_probability.powi(input.k as i32)
 }
@@ -69,12 +72,36 @@ mod tests {
     fn table7_values_are_reproduced() {
         // Table 7 (TP-32): R=4 row: 7.54%, 0.28%, 1.02e-4; R=8 row: 25.02%,
         // 1.81%, 0.13%.
-        assert!((bound(4, 2) - 0.0754).abs() < 0.002, "R=4, K=2: {}", bound(4, 2));
-        assert!((bound(4, 3) - 0.0028).abs() < 0.0002, "R=4, K=3: {}", bound(4, 3));
-        assert!((bound(4, 4) - 1.02e-4).abs() < 2e-5, "R=4, K=4: {}", bound(4, 4));
-        assert!((bound(8, 2) - 0.2502).abs() < 0.005, "R=8, K=2: {}", bound(8, 2));
-        assert!((bound(8, 3) - 0.0181).abs() < 0.001, "R=8, K=3: {}", bound(8, 3));
-        assert!((bound(8, 4) - 0.0013).abs() < 0.0002, "R=8, K=4: {}", bound(8, 4));
+        assert!(
+            (bound(4, 2) - 0.0754).abs() < 0.002,
+            "R=4, K=2: {}",
+            bound(4, 2)
+        );
+        assert!(
+            (bound(4, 3) - 0.0028).abs() < 0.0002,
+            "R=4, K=3: {}",
+            bound(4, 3)
+        );
+        assert!(
+            (bound(4, 4) - 1.02e-4).abs() < 2e-5,
+            "R=4, K=4: {}",
+            bound(4, 4)
+        );
+        assert!(
+            (bound(8, 2) - 0.2502).abs() < 0.005,
+            "R=8, K=2: {}",
+            bound(8, 2)
+        );
+        assert!(
+            (bound(8, 3) - 0.0181).abs() < 0.001,
+            "R=8, K=3: {}",
+            bound(8, 3)
+        );
+        assert!(
+            (bound(8, 4) - 0.0013).abs() < 0.0002,
+            "R=8, K=4: {}",
+            bound(8, 4)
+        );
     }
 
     #[test]

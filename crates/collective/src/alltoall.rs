@@ -177,8 +177,12 @@ mod tests {
     #[test]
     fn ring_shift_volume_is_quadratic() {
         let block = Bytes(1e6);
-        let v8 = AllToAllAlgorithm::RingShift.total_bytes_per_rank(8, block).value();
-        let v16 = AllToAllAlgorithm::RingShift.total_bytes_per_rank(16, block).value();
+        let v8 = AllToAllAlgorithm::RingShift
+            .total_bytes_per_rank(8, block)
+            .value();
+        let v16 = AllToAllAlgorithm::RingShift
+            .total_bytes_per_rank(16, block)
+            .value();
         // Doubling p should roughly quadruple the volume (p(p-1)/2 blocks).
         assert!(v16 / v8 > 3.0 && v16 / v8 < 5.0);
     }

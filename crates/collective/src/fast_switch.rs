@@ -64,7 +64,10 @@ impl FastSwitchAllToAll {
     /// Creates the schedule with the paper's 70 µs mid-range fast-switch
     /// latency and no overlap.
     pub fn new(ranks: usize) -> Self {
-        assert!(ranks >= 2 && ranks.is_power_of_two(), "ranks must be a power of two >= 2");
+        assert!(
+            ranks >= 2 && ranks.is_power_of_two(),
+            "ranks must be a power of two >= 2"
+        );
         FastSwitchAllToAll {
             ranks,
             reconfig: Microseconds(70.0),

@@ -103,7 +103,10 @@ impl HierarchicalAllReduce {
     pub fn new(gpus_per_node: usize, nodes: usize) -> Self {
         assert!(gpus_per_node >= 1, "need at least one GPU per node");
         assert!(nodes >= 2, "need at least two nodes");
-        HierarchicalAllReduce { gpus_per_node, nodes }
+        HierarchicalAllReduce {
+            gpus_per_node,
+            nodes,
+        }
     }
 
     /// Total GPU ranks covered.
@@ -116,7 +119,9 @@ impl HierarchicalAllReduce {
     pub fn time(&self, message: Bytes, intra: &AlphaBeta, inter: &AlphaBeta) -> Seconds {
         let mut total = Seconds::ZERO;
         if self.gpus_per_node >= 2 {
-            total += ReduceScatter::new(self.gpus_per_node).cost(message, intra).time;
+            total += ReduceScatter::new(self.gpus_per_node)
+                .cost(message, intra)
+                .time;
         }
         // After the local Reduce-Scatter each GPU owns 1/R of the buffer; the
         // inter-node ring AllReduces that shard across nodes.

@@ -118,7 +118,10 @@ impl BinaryExchangeSim {
     /// exchanges along address bits).
     pub fn new(ranks: usize) -> Self {
         assert!(ranks >= 2, "AllToAll needs at least two ranks");
-        assert!(ranks.is_power_of_two(), "Binary Exchange needs a power-of-two group");
+        assert!(
+            ranks.is_power_of_two(),
+            "Binary Exchange needs a power-of-two group"
+        );
         BinaryExchangeSim {
             ranks,
             blocks: (0..ranks)
@@ -152,19 +155,19 @@ impl BinaryExchangeSim {
             let bit = 1usize << (log_p - k);
             // Compute every rank's outgoing set first (synchronous round).
             let mut outgoing: Vec<Vec<(usize, usize)>> = vec![Vec::new(); self.ranks];
-            for i in 0..self.ranks {
+            for (i, out) in outgoing.iter_mut().enumerate() {
                 let partner = i ^ bit;
                 for &(src, dst) in &self.blocks[i] {
                     // Send the block if its destination lies on the partner's
                     // side of the current address bit.
                     if dst & bit == partner & bit {
-                        outgoing[i].push((src, dst));
+                        out.push((src, dst));
                     }
                 }
             }
-            for i in 0..self.ranks {
+            for (i, out) in outgoing.iter().enumerate() {
                 let partner = i ^ bit;
-                for &(src, dst) in &outgoing[i] {
+                for &(src, dst) in out {
                     self.blocks[i].remove(&(src, dst));
                     self.blocks[partner].insert((src, dst));
                     self.transfer_count += 1;
@@ -179,9 +182,7 @@ impl BinaryExchangeSim {
     pub fn is_complete(&self) -> bool {
         self.blocks.iter().enumerate().all(|(holder, blocks)| {
             blocks.len() == self.ranks
-                && blocks
-                    .iter()
-                    .all(|&(_, dst)| dst == holder)
+                && blocks.iter().all(|&(_, dst)| dst == holder)
                 && (0..self.ranks).all(|src| blocks.contains(&(src, holder)))
         })
     }
@@ -252,11 +253,11 @@ mod tests {
         let bit = 1usize << (log_p - 1);
         // Run only one round by replicating the loop body.
         let mut outgoing: Vec<Vec<(usize, usize)>> = vec![Vec::new(); 8];
-        for i in 0..8 {
+        for (i, out) in outgoing.iter_mut().enumerate() {
             let partner = i ^ bit;
             for &(src, dst) in sim.blocks_at(i) {
                 if dst & bit == partner & bit {
-                    outgoing[i].push((src, dst));
+                    out.push((src, dst));
                 }
             }
         }

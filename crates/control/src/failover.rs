@@ -85,7 +85,14 @@ mod tests {
             .map(|n| {
                 plan.node(NodeId(n))
                     .iter()
-                    .filter(|(_, a)| a.is_active() && !matches!(a, crate::BundleAction::ActivatePrimary | crate::BundleAction::ActivateBackup))
+                    .filter(|(_, a)| {
+                        a.is_active()
+                            && !matches!(
+                                a,
+                                crate::BundleAction::ActivatePrimary
+                                    | crate::BundleAction::ActivateBackup
+                            )
+                    })
                     .count()
             })
             .sum();

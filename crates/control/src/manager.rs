@@ -169,10 +169,14 @@ impl ClusterManager {
     pub fn inject_fault(&mut self, node: NodeId, at: Seconds) -> Result<RecoveryReport> {
         self.check_node(node)?;
         if !self.faults.add(node) {
-            return Err(HbdError::invalid_operation(format!("{node} is already faulty")));
+            return Err(HbdError::invalid_operation(format!(
+                "{node} is already faulty"
+            )));
         }
-        self.timeline
-            .push(at + self.latencies.detection, ControlEventKind::FaultDetected { node });
+        self.timeline.push(
+            at + self.latencies.detection,
+            ControlEventKind::FaultDetected { node },
+        );
         self.recover(at)
     }
 
@@ -182,8 +186,10 @@ impl ClusterManager {
         if !self.faults.remove(node) {
             return Err(HbdError::invalid_operation(format!("{node} is not faulty")));
         }
-        self.timeline
-            .push(at + self.latencies.detection, ControlEventKind::RepairDetected { node });
+        self.timeline.push(
+            at + self.latencies.detection,
+            ControlEventKind::RepairDetected { node },
+        );
         self.recover(at)
     }
 
@@ -197,8 +203,7 @@ impl ClusterManager {
     fn recover(&mut self, event_at: Seconds) -> Result<RecoveryReport> {
         let plan_at = event_at + self.latencies.detection + self.latencies.planning;
         let (commands, nodes_reconfigured, hardware_latency) = self.converge(plan_at)?;
-        let total_recovery =
-            self.latencies.software_total() + hardware_latency.to_seconds();
+        let total_recovery = self.latencies.software_total() + hardware_latency.to_seconds();
         let segments = self.planner.segments(&self.faults).len();
         let report = RecoveryReport {
             event_at,
@@ -220,8 +225,12 @@ impl ClusterManager {
     fn converge(&mut self, at: Seconds) -> Result<(usize, usize, Microseconds)> {
         let target = self.planner.plan(&self.faults)?;
         let commands = self.deployed.diff(&target);
-        self.timeline
-            .push(at, ControlEventKind::PlanComputed { commands: commands.len() });
+        self.timeline.push(
+            at,
+            ControlEventKind::PlanComputed {
+                commands: commands.len(),
+            },
+        );
         let mut touched = std::collections::BTreeSet::new();
         let mut slowest = Microseconds::ZERO;
         let dispatch_at = at + self.latencies.dispatch;
@@ -307,8 +316,7 @@ mod tests {
     #[test]
     fn software_latencies_dominate_total_recovery() {
         let ring = KHopRing::new(32, 4, 2).unwrap();
-        let mut mgr =
-            ClusterManager::new(ring, ControlLatencies::production_defaults()).unwrap();
+        let mut mgr = ClusterManager::new(ring, ControlLatencies::production_defaults()).unwrap();
         let report = mgr.inject_fault(NodeId(10), Seconds(0.0)).unwrap();
         let software = ControlLatencies::production_defaults().software_total();
         assert!(report.total_recovery >= software);

@@ -56,7 +56,10 @@ pub struct NodeDirective {
 impl NodeDirective {
     /// The action assigned to `bundle` (idle if the plan never mentions it).
     pub fn action(&self, bundle: usize) -> BundleAction {
-        self.actions.get(&bundle).copied().unwrap_or(BundleAction::Idle)
+        self.actions
+            .get(&bundle)
+            .copied()
+            .unwrap_or(BundleAction::Idle)
     }
 
     /// Iterates over (bundle, action) pairs in bundle order.
@@ -237,9 +240,11 @@ impl RingPlan {
         self.nodes
             .iter()
             .flat_map(|(&node, directive)| {
-                directive
-                    .iter()
-                    .map(move |(bundle, action)| PortDirective { node, bundle, action })
+                directive.iter().map(move |(bundle, action)| PortDirective {
+                    node,
+                    bundle,
+                    action,
+                })
             })
             .collect()
     }
@@ -252,7 +257,11 @@ impl RingPlan {
             let old = self.node(node);
             for (bundle, action) in directive.iter() {
                 if old.action(bundle) != action {
-                    commands.push(PortDirective { node, bundle, action });
+                    commands.push(PortDirective {
+                        node,
+                        bundle,
+                        action,
+                    });
                 }
             }
         }
@@ -355,10 +364,12 @@ mod tests {
         assert!(!commands.is_empty());
         // Only the fault's bypassing neighbours and the new segment endpoints
         // change — a handful of nodes, not the whole fabric.
-        let touched: std::collections::BTreeSet<NodeId> =
-            commands.iter().map(|c| c.node).collect();
+        let touched: std::collections::BTreeSet<NodeId> = commands.iter().map(|c| c.node).collect();
         assert!(touched.len() <= 4, "touched {touched:?}");
-        assert!(!touched.contains(&NodeId(7)), "faulty node must not be commanded");
+        assert!(
+            !touched.contains(&NodeId(7)),
+            "faulty node must not be commanded"
+        );
         // Every command matches the target plan.
         for cmd in &commands {
             assert_eq!(after.node(cmd.node).action(cmd.bundle), cmd.action);
@@ -368,7 +379,10 @@ mod tests {
     #[test]
     fn singleton_segment_loops_back_on_bundle_zero() {
         let wiring = Wiring::new(9, 2, true).unwrap();
-        let segment = RingSegment { nodes: vec![NodeId(4)], wraps: false };
+        let segment = RingSegment {
+            nodes: vec![NodeId(4)],
+            wraps: false,
+        };
         let plan = RingPlan::for_segments(&wiring, &[segment]).unwrap();
         assert_eq!(plan.node(NodeId(4)).action(0), BundleAction::Loopback);
     }
@@ -376,7 +390,10 @@ mod tests {
     #[test]
     fn edge_beyond_reach_is_rejected() {
         let wiring = Wiring::new(12, 2, true).unwrap();
-        let segment = RingSegment { nodes: vec![NodeId(0), NodeId(5)], wraps: false };
+        let segment = RingSegment {
+            nodes: vec![NodeId(0), NodeId(5)],
+            wraps: false,
+        };
         assert!(RingPlan::for_segments(&wiring, &[segment]).is_err());
     }
 

@@ -120,7 +120,10 @@ mod tests {
     fn timeline_accumulates_events_in_order() {
         let mut timeline = Timeline::new();
         assert!(timeline.is_empty());
-        timeline.push(Seconds(1.0), ControlEventKind::FaultDetected { node: NodeId(4) });
+        timeline.push(
+            Seconds(1.0),
+            ControlEventKind::FaultDetected { node: NodeId(4) },
+        );
         timeline.push(Seconds(1.0), ControlEventKind::PlanComputed { commands: 3 });
         timeline.push(
             Seconds(1.0),
@@ -141,7 +144,10 @@ mod tests {
     #[test]
     fn timeline_serialises_to_json() {
         let mut timeline = Timeline::new();
-        timeline.push(Seconds(0.5), ControlEventKind::RepairDetected { node: NodeId(9) });
+        timeline.push(
+            Seconds(0.5),
+            ControlEventKind::RepairDetected { node: NodeId(9) },
+        );
         let json = serde_json::to_string(&timeline).unwrap();
         let back: Timeline = serde_json::from_str(&json).unwrap();
         assert_eq!(back, timeline);

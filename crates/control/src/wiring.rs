@@ -259,7 +259,11 @@ mod tests {
             for d in 1..=k as isize {
                 for offset in [d, -d] {
                     let port = wiring.port_for_offset(offset).expect("covered offset");
-                    assert_eq!(wiring.port_offset(port), Some(offset), "K={k} offset={offset}");
+                    assert_eq!(
+                        wiring.port_offset(port),
+                        Some(offset),
+                        "K={k} offset={offset}"
+                    );
                 }
             }
             assert!(wiring.port_for_offset(0).is_none());
@@ -270,8 +274,14 @@ mod tests {
     #[test]
     fn closed_ring_neighbours_wrap_around() {
         let wiring = Wiring::new(10, 2, true).unwrap();
-        let fwd2 = FabricPort { bundle: 0, path: PathId::External2 };
-        let bwd2 = FabricPort { bundle: 1, path: PathId::External2 };
+        let fwd2 = FabricPort {
+            bundle: 0,
+            path: PathId::External2,
+        };
+        let bwd2 = FabricPort {
+            bundle: 1,
+            path: PathId::External2,
+        };
         assert_eq!(wiring.neighbour(NodeId(4), fwd2), Some(NodeId(6)));
         assert_eq!(wiring.neighbour(NodeId(4), bwd2), Some(NodeId(2)));
         assert_eq!(wiring.neighbour(NodeId(9), fwd2), Some(NodeId(1)));
@@ -281,8 +291,14 @@ mod tests {
     #[test]
     fn line_wiring_drops_ports_at_the_ends() {
         let wiring = Wiring::new(10, 2, false).unwrap();
-        let fwd1 = FabricPort { bundle: 0, path: PathId::External1 };
-        let bwd2 = FabricPort { bundle: 1, path: PathId::External2 };
+        let fwd1 = FabricPort {
+            bundle: 0,
+            path: PathId::External1,
+        };
+        let bwd2 = FabricPort {
+            bundle: 1,
+            path: PathId::External2,
+        };
         assert_eq!(wiring.neighbour(NodeId(9), fwd1), None);
         assert_eq!(wiring.neighbour(NodeId(1), bwd2), None);
         assert_eq!(wiring.ports(NodeId(0)).len(), 2);
@@ -314,7 +330,11 @@ mod tests {
     #[test]
     fn every_port_reaches_a_distinct_node_when_large_enough() {
         let wiring = Wiring::new(9, 4, true).unwrap();
-        let peers: Vec<NodeId> = wiring.ports(NodeId(0)).into_iter().map(|(_, n)| n).collect();
+        let peers: Vec<NodeId> = wiring
+            .ports(NodeId(0))
+            .into_iter()
+            .map(|(_, n)| n)
+            .collect();
         let mut dedup = peers.clone();
         dedup.sort();
         dedup.dedup();

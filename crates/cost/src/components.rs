@@ -62,7 +62,12 @@ impl Component {
 
     /// 51.2 Tbps electrical packet switch (Alibaba HPN row of Table 8).
     pub const fn electrical_packet_switch() -> Self {
-        Self::new(ComponentKind::ElectricalPacketSwitch, 14_960.0, 6400.0, 3145.0)
+        Self::new(
+            ComponentKind::ElectricalPacketSwitch,
+            14_960.0,
+            6400.0,
+            3145.0,
+        )
     }
 
     /// 400G OSFP passive DAC used by TPUv4.
@@ -116,7 +121,10 @@ mod tests {
     fn catalogue_matches_table8_prices() {
         assert_eq!(Component::ocs_switch().unit_cost, Dollars(80_000.0));
         assert_eq!(Component::nvlink_switch().unit_cost, Dollars(28_000.0));
-        assert_eq!(Component::electrical_packet_switch().unit_power, Watts(3145.0));
+        assert_eq!(
+            Component::electrical_packet_switch().unit_power,
+            Watts(3145.0)
+        );
         assert_eq!(Component::dac_tpuv4().unit_cost, Dollars(63.60));
         assert_eq!(Component::dac_nvl().unit_cost, Dollars(35.60));
         assert_eq!(Component::dac_infinitehbd().unit_cost, Dollars(199.60));

@@ -94,7 +94,9 @@ impl NetworkParams {
 
     fn validate(&self) -> Result<()> {
         if self.aggregation_planes == 0 {
-            return Err(HbdError::invalid_config("need at least one aggregation plane"));
+            return Err(HbdError::invalid_config(
+                "need at least one aggregation plane",
+            ));
         }
         if self.node_bandwidth.value() <= 0.0
             || self.tor_uplink.value() <= 0.0
@@ -330,8 +332,12 @@ mod tests {
         assert_eq!(route.distance, NetworkDistance::SameToR);
         assert_eq!(route.hops(), 2);
         assert!(!route.crosses_tor());
-        assert!(matches!(net.link(route.links[0]).unwrap().kind, LinkKind::NodeUp(n) if n == NodeId(0)));
-        assert!(matches!(net.link(route.links[1]).unwrap().kind, LinkKind::NodeDown(n) if n == NodeId(3)));
+        assert!(
+            matches!(net.link(route.links[0]).unwrap().kind, LinkKind::NodeUp(n) if n == NodeId(0))
+        );
+        assert!(
+            matches!(net.link(route.links[1]).unwrap().kind, LinkKind::NodeDown(n) if n == NodeId(3))
+        );
     }
 
     #[test]
@@ -375,7 +381,9 @@ mod tests {
     #[test]
     fn local_flow_has_an_empty_route() {
         let net = network();
-        let route = net.route(&Flow::new(NodeId(9), NodeId(9), Bytes(1.0))).unwrap();
+        let route = net
+            .route(&Flow::new(NodeId(9), NodeId(9), Bytes(1.0)))
+            .unwrap();
         assert_eq!(route.hops(), 0);
         assert_eq!(route.distance, NetworkDistance::SameNode);
     }
@@ -413,6 +421,8 @@ mod tests {
     #[test]
     fn route_rejects_unknown_nodes() {
         let net = network();
-        assert!(net.route(&Flow::new(NodeId(0), NodeId(99), Bytes(1.0))).is_err());
+        assert!(net
+            .route(&Flow::new(NodeId(0), NodeId(99), Bytes(1.0)))
+            .is_err());
     }
 }

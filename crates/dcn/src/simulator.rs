@@ -62,7 +62,12 @@ impl FlowSimulation {
             .zip(&rates)
             .map(|(flow, rate)| transfer_time(flow.bytes, *rate))
             .collect();
-        Ok(FlowSimulation { flows, routes, rates, completion })
+        Ok(FlowSimulation {
+            flows,
+            routes,
+            rates,
+            completion,
+        })
     }
 
     /// The simulated flows.
@@ -104,7 +109,12 @@ impl FlowSimulation {
         self.link_loads(network)
             .iter()
             .enumerate()
-            .map(|(i, load)| (LinkId(i), load.value() / network.links()[i].capacity.value()))
+            .map(|(i, load)| {
+                (
+                    LinkId(i),
+                    load.value() / network.links()[i].capacity.value(),
+                )
+            })
             .filter(|(_, util)| *util > 0.0)
             .max_by(|a, b| a.1.total_cmp(&b.1))
     }
@@ -120,8 +130,7 @@ impl FlowSimulation {
         let mut max_completion = Seconds::ZERO;
         let mut sum_completion = Seconds::ZERO;
         let mut dcn_flows = 0usize;
-        for ((flow, route), completion) in
-            self.flows.iter().zip(&self.routes).zip(&self.completion)
+        for ((flow, route), completion) in self.flows.iter().zip(&self.routes).zip(&self.completion)
         {
             total_bytes += flow.bytes.value();
             if route.hops() == 0 {
@@ -153,7 +162,11 @@ impl FlowSimulation {
             flows: self.flows.len(),
             local_flows,
             cross_tor_flows,
-            cross_tor_byte_fraction: if total_bytes > 0.0 { cross_bytes / total_bytes } else { 0.0 },
+            cross_tor_byte_fraction: if total_bytes > 0.0 {
+                cross_bytes / total_bytes
+            } else {
+                0.0
+            },
             max_completion,
             mean_completion: if dcn_flows > 0 {
                 Seconds(sum_completion.value() / dcn_flows as f64)
@@ -167,7 +180,11 @@ impl FlowSimulation {
                 1.0
             },
             max_link_utilization: max_util,
-            mean_loaded_link_utilization: if loaded > 0 { util_sum / loaded as f64 } else { 0.0 },
+            mean_loaded_link_utilization: if loaded > 0 {
+                util_sum / loaded as f64
+            } else {
+                0.0
+            },
         }
     }
 }
@@ -196,7 +213,10 @@ mod tests {
     fn intra_tor_flows_run_at_full_access_speed() {
         let net = network();
         let bytes = Bytes::from_gib(1.0);
-        let flows = vec![Flow::new(NodeId(0), NodeId(1), bytes), Flow::new(NodeId(2), NodeId(3), bytes)];
+        let flows = vec![
+            Flow::new(NodeId(0), NodeId(1), bytes),
+            Flow::new(NodeId(2), NodeId(3), bytes),
+        ];
         let sim = FlowSimulation::run(&net, flows).unwrap();
         let report = sim.report(&net);
         assert_eq!(report.cross_tor_flows, 0);
@@ -243,7 +263,10 @@ mod tests {
         let sim = FlowSimulation::run(&net, flows).unwrap();
         let report = sim.report(&net);
         assert_eq!(report.cross_tor_flows, 16);
-        assert!(report.slowdown > 1.0, "oversubscription must bite: {report:?}");
+        assert!(
+            report.slowdown > 1.0,
+            "oversubscription must bite: {report:?}"
+        );
         assert!(report.max_link_utilization > 0.99);
         // The bottleneck is a ToR uplink, not an access link.
         let (link, _) = sim.bottleneck(&net).unwrap();

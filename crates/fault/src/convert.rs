@@ -84,7 +84,10 @@ mod tests {
         let p4 = node4_fault_probability(0.0233);
         assert!((p4 - 0.0117).abs() < 4e-4, "4-GPU node probability {p4}");
         let keep = conversion_probability(0.0233);
-        assert!((keep - 0.5021).abs() < 0.01, "conversion probability {keep}");
+        assert!(
+            (keep - 0.5021).abs() < 0.01,
+            "conversion probability {keep}"
+        );
     }
 
     #[test]

@@ -48,7 +48,9 @@ impl GeneratorConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.nodes == 0 {
-            return Err(HbdError::invalid_config("generator needs at least one node"));
+            return Err(HbdError::invalid_config(
+                "generator needs at least one node",
+            ));
         }
         if self.duration.value() <= 0.0 {
             return Err(HbdError::invalid_config("duration must be positive"));
@@ -59,7 +61,9 @@ impl GeneratorConfig {
             ));
         }
         if self.mean_time_to_repair.value() <= 0.0 {
-            return Err(HbdError::invalid_config("mean time to repair must be positive"));
+            return Err(HbdError::invalid_config(
+                "mean time to repair must be positive",
+            ));
         }
         Ok(())
     }
@@ -207,7 +211,11 @@ mod tests {
             stats.mean_ratio
         );
         // And the p99 should be in the ballpark of the published 7.22%.
-        assert!(stats.p99_ratio > 0.035 && stats.p99_ratio < 0.11, "p99 {}", stats.p99_ratio);
+        assert!(
+            stats.p99_ratio > 0.035 && stats.p99_ratio < 0.11,
+            "p99 {}",
+            stats.p99_ratio
+        );
     }
 
     #[test]

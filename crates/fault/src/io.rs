@@ -49,7 +49,7 @@ pub fn from_csv(text: &str) -> Result<FaultTrace> {
         if let Some(comment) = line.strip_prefix('#') {
             let comment = comment.trim();
             if let Some(value) = comment.strip_prefix("nodes=") {
-                nodes = Some(parse_field(value, line_no, "nodes")? as usize);
+                nodes = Some(parse_index_field(value, line_no, "nodes")?);
             } else if let Some(value) = comment.strip_prefix("duration_s=") {
                 duration = Some(parse_field(value, line_no, "duration_s")?);
             }
@@ -71,14 +71,13 @@ pub fn from_csv(text: &str) -> Result<FaultTrace> {
         if fields.next().is_some() {
             return Err(bad_line(line_no, "too many columns"));
         }
-        let node = parse_field(node, line_no, "node")? as usize;
+        let node = parse_index_field(node, line_no, "node")?;
         let start = parse_field(start, line_no, "fault_start_s")?;
         let end = parse_field(end, line_no, "fault_end_s")?;
         events.push(FaultEvent::new(NodeId(node), Seconds(start), Seconds(end)));
     }
-    let nodes = nodes.ok_or_else(|| {
-        HbdError::invalid_config("trace CSV is missing the '# nodes=' header")
-    })?;
+    let nodes = nodes
+        .ok_or_else(|| HbdError::invalid_config("trace CSV is missing the '# nodes=' header"))?;
     let duration = duration.ok_or_else(|| {
         HbdError::invalid_config("trace CSV is missing the '# duration_s=' header")
     })?;
@@ -95,6 +94,17 @@ pub fn to_json(trace: &FaultTrace) -> Result<String> {
 pub fn from_json(text: &str) -> Result<FaultTrace> {
     serde_json::from_str(text)
         .map_err(|e| HbdError::invalid_config(format!("invalid trace JSON: {e}")))
+}
+
+/// Integer columns (node ids, node counts) must parse exactly: going through
+/// `f64` would silently truncate `3.9` to 3 and lose precision above 2^53.
+fn parse_index_field(value: &str, line_no: usize, name: &str) -> Result<usize> {
+    value.trim().parse::<usize>().map_err(|_| {
+        HbdError::invalid_config(format!(
+            "line {}: cannot parse {name} from {value:?} (expected a non-negative integer)",
+            line_no + 1
+        ))
+    })
 }
 
 fn parse_field(value: &str, line_no: usize, name: &str) -> Result<f64> {
@@ -127,6 +137,13 @@ mod tests {
             ],
         )
         .expect("valid trace")
+    }
+
+    #[test]
+    fn csv_rejects_non_integer_node_ids() {
+        let text = "# nodes=8\n# duration_s=1000\nnode,fault_start_s,fault_end_s\n3.9,0,60\n";
+        let err = from_csv(text).unwrap_err();
+        assert!(err.to_string().contains("cannot parse node"), "{err}");
     }
 
     #[test]

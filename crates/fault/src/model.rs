@@ -102,8 +102,13 @@ mod tests {
     #[test]
     fn extreme_ratios() {
         let mut rng = StdRng::seed_from_u64(1);
-        assert!(IidFaultModel::new(100, 0.0).sample_exact(&mut rng).is_empty());
-        assert_eq!(IidFaultModel::new(100, 1.0).sample_exact(&mut rng).len(), 100);
+        assert!(IidFaultModel::new(100, 0.0)
+            .sample_exact(&mut rng)
+            .is_empty());
+        assert_eq!(
+            IidFaultModel::new(100, 1.0).sample_exact(&mut rng).len(),
+            100
+        );
         assert!(IidFaultModel::new(100, 0.0).sample(&mut rng).is_empty());
     }
 

@@ -67,7 +67,10 @@ impl TraceStats {
 
 /// Percentile of an already-sorted slice using nearest-rank interpolation.
 pub fn percentile(sorted: &[f64], q: f64) -> f64 {
-    assert!(!sorted.is_empty(), "cannot take a percentile of an empty slice");
+    assert!(
+        !sorted.is_empty(),
+        "cannot take a percentile of an empty slice"
+    );
     assert!((0.0..=1.0).contains(&q), "quantile must lie in [0, 1]");
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;

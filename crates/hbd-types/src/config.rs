@@ -144,7 +144,9 @@ impl ClusterConfig {
     /// Validates the internal consistency of the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.nodes == 0 {
-            return Err(HbdError::invalid_config("cluster must have at least one node"));
+            return Err(HbdError::invalid_config(
+                "cluster must have at least one node",
+            ));
         }
         if self.nodes_per_tor == 0 {
             return Err(HbdError::invalid_config("nodes_per_tor must be positive"));

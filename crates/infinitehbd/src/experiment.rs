@@ -39,7 +39,12 @@ impl ClusterStudy {
     /// Creates a study on the paper's 2,880-GPU cluster with a synthetic trace
     /// calibrated to the production statistics, for the given TP size.
     pub fn paper_cluster(tp_size: usize, seed: u64) -> Result<Self> {
-        Self::new(ClusterConfig::paper_2880_gpu(), tp_size, Seconds::from_days(348.0), seed)
+        Self::new(
+            ClusterConfig::paper_2880_gpu(),
+            tp_size,
+            Seconds::from_days(348.0),
+            seed,
+        )
     }
 
     /// Creates a study on an arbitrary cluster.
@@ -50,7 +55,7 @@ impl ClusterStudy {
         seed: u64,
     ) -> Result<Self> {
         config.validate()?;
-        if tp_size == 0 || tp_size % config.node_size.gpus() != 0 {
+        if tp_size == 0 || !tp_size.is_multiple_of(config.node_size.gpus()) {
             return Err(HbdError::invalid_config(format!(
                 "TP size {tp_size} must be a positive multiple of the node size {}",
                 config.node_size.gpus()
@@ -109,9 +114,8 @@ impl ClusterStudy {
             .sample(samples)
             .into_iter()
             .map(|(_, faulty)| {
-                let faults = FaultSet::from_nodes(
-                    faulty.into_iter().filter(|n| n.index() < arch.nodes()),
-                );
+                let faults =
+                    FaultSet::from_nodes(faulty.into_iter().filter(|n| n.index() < arch.nodes()));
                 max_supported_job(arch, &faults, self.tp_size)
             })
             .min()
@@ -189,7 +193,12 @@ impl FailoverStudy {
             mean_time_to_repair: Seconds::from_hours(12.0),
         })?;
         let trace = generator.generate(&mut StdRng::seed_from_u64(seed));
-        Self::new(ring, ControlLatencies::production_defaults(), trace, tp_size)
+        Self::new(
+            ring,
+            ControlLatencies::production_defaults(),
+            trace,
+            tp_size,
+        )
     }
 
     /// Creates a study from explicit parts.
@@ -199,13 +208,18 @@ impl FailoverStudy {
         trace: FaultTrace,
         tp_size: usize,
     ) -> Result<Self> {
-        if tp_size == 0 || tp_size % ring.gpus_per_node() != 0 {
+        if tp_size == 0 || !tp_size.is_multiple_of(ring.gpus_per_node()) {
             return Err(HbdError::invalid_config(format!(
                 "TP size {tp_size} must be a positive multiple of the node size {}",
                 ring.gpus_per_node()
             )));
         }
-        Ok(FailoverStudy { ring, latencies, trace, tp_size })
+        Ok(FailoverStudy {
+            ring,
+            latencies,
+            trace,
+            tp_size,
+        })
     }
 
     /// The fault trace being replayed.
@@ -259,15 +273,17 @@ impl FailoverStudy {
             };
             events += 1;
             summary.total_commands += report.commands;
-            summary.max_nodes_reconfigured =
-                summary.max_nodes_reconfigured.max(report.nodes_reconfigured);
+            summary.max_nodes_reconfigured = summary
+                .max_nodes_reconfigured
+                .max(report.nodes_reconfigured);
             recovery_sum += report.total_recovery;
             summary.max_recovery = summary.max_recovery.max(report.total_recovery);
             if report.segments > 1 {
                 summary.partition_events += 1;
             }
-            summary.min_usable_gpus =
-                summary.min_usable_gpus.min(manager.usable_gpus(self.tp_size));
+            summary.min_usable_gpus = summary
+                .min_usable_gpus
+                .min(manager.usable_gpus(self.tp_size));
         }
         summary.total_switching_time = manager.timeline().total_switching_time();
         if events > 0 {
@@ -305,12 +321,17 @@ mod tests {
             .iter()
             .find(|r| r.architecture == "InfiniteHBD(K=3)")
             .unwrap();
-        let sip = reports.iter().find(|r| r.architecture == "SiP-Ring").unwrap();
+        let sip = reports
+            .iter()
+            .find(|r| r.architecture == "SiP-Ring")
+            .unwrap();
         assert!(infinite.mean_waste_ratio <= sip.mean_waste_ratio);
         assert!(infinite.min_supported_job >= sip.min_supported_job);
         for report in &reports {
             assert!(report.mean_waste_ratio >= 0.0 && report.mean_waste_ratio <= 1.0);
-            assert!(report.fault_waiting_rate_90pct >= 0.0 && report.fault_waiting_rate_90pct <= 1.0);
+            assert!(
+                report.fault_waiting_rate_90pct >= 0.0 && report.fault_waiting_rate_90pct <= 1.0
+            );
         }
     }
 
@@ -338,8 +359,14 @@ mod tests {
     #[test]
     fn failover_study_is_deterministic_and_validates_tp() {
         assert!(FailoverStudy::paper_cluster(2, 30, 10.0, 1).is_err());
-        let a = FailoverStudy::paper_cluster(2, 32, 10.0, 9).unwrap().run().unwrap();
-        let b = FailoverStudy::paper_cluster(2, 32, 10.0, 9).unwrap().run().unwrap();
+        let a = FailoverStudy::paper_cluster(2, 32, 10.0, 9)
+            .unwrap()
+            .run()
+            .unwrap();
+        let b = FailoverStudy::paper_cluster(2, 32, 10.0, 9)
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(a, b);
     }
 
@@ -354,8 +381,7 @@ mod tests {
         })
         .unwrap();
         let trace = generator.generate(&mut StdRng::seed_from_u64(2));
-        let study =
-            FailoverStudy::new(ring, ControlLatencies::hardware_only(), trace, 16).unwrap();
+        let study = FailoverStudy::new(ring, ControlLatencies::hardware_only(), trace, 16).unwrap();
         let summary = study.run().unwrap();
         // With zero software latency every recovery is a single parallel OCSTrx
         // switch: at most 80 us.

@@ -59,8 +59,7 @@ pub mod experiment;
 pub mod prelude {
     pub use crate::experiment::{ClusterStudy, FailoverStudy, FailoverSummary, StudyReport};
     pub use cluster::{
-        fault_waiting_rate, max_supported_job, waste_over_trace, waste_ratio,
-        waste_vs_fault_ratio,
+        fault_waiting_rate, max_supported_job, waste_over_trace, waste_ratio, waste_vs_fault_ratio,
     };
     pub use collective::{
         AllToAllAlgorithm, AlphaBeta, FastSwitchAllToAll, HierarchicalAllReduce, RingAllReduce,
@@ -79,8 +78,8 @@ pub mod prelude {
         TraceGenerator, TraceStats,
     };
     pub use hbd_types::{
-        Bytes, ClusterConfig, Dollars, GBps, Gbps, GpuId, GpuSpec, HbdError, Microseconds,
-        NodeId, NodeSize, Result, Seconds, ToRId, Watts,
+        Bytes, ClusterConfig, Dollars, GBps, Gbps, GpuId, GpuSpec, HbdError, Microseconds, NodeId,
+        NodeSize, Result, Seconds, ToRId, Watts,
     };
     pub use llmsim::{
         ModelConfig, ParallelismStrategy, SearchSpace, StrategySearch, TrainingSimulator,

@@ -97,7 +97,11 @@ impl CommModel {
     /// Non-overlapped EP communication time per MoE layer per micro-batch
     /// (forward + backward: 2 AllToAll pairs = 4 AllToAlls), assuming the
     /// AllToAll runs at the HBD line rate.
-    pub fn ep_time_per_moe_layer(&self, model: &ModelConfig, strategy: &ParallelismStrategy) -> f64 {
+    pub fn ep_time_per_moe_layer(
+        &self,
+        model: &ModelConfig,
+        strategy: &ParallelismStrategy,
+    ) -> f64 {
         if strategy.ep <= 1 {
             return 0.0;
         }
@@ -108,7 +112,11 @@ impl CommModel {
 
     /// Pipeline boundary-activation transfer time per micro-batch (forward +
     /// backward), over the DCN.
-    pub fn pp_time_per_microbatch(&self, model: &ModelConfig, strategy: &ParallelismStrategy) -> f64 {
+    pub fn pp_time_per_microbatch(
+        &self,
+        model: &ModelConfig,
+        strategy: &ParallelismStrategy,
+    ) -> f64 {
         if strategy.pp <= 1 {
             return 0.0;
         }
@@ -122,7 +130,11 @@ impl CommModel {
     }
 
     /// Non-overlapped DP gradient-AllReduce time per iteration.
-    pub fn dp_time_per_iteration(&self, model: &ModelConfig, strategy: &ParallelismStrategy) -> f64 {
+    pub fn dp_time_per_iteration(
+        &self,
+        model: &ModelConfig,
+        strategy: &ParallelismStrategy,
+    ) -> f64 {
         if strategy.dp <= 1 {
             return 0.0;
         }
@@ -194,7 +206,10 @@ mod tests {
         assert!(t64 > t16 * 0.9, "larger TP should not be cheaper");
         comm.tp_overlap = 0.9;
         assert!(comm.tp_time_per_layer(&llama(), &strategy16) < t16);
-        assert_eq!(comm.tp_time_per_layer(&llama(), &ParallelismStrategy::new(1, 1, 1024)), 0.0);
+        assert_eq!(
+            comm.tp_time_per_layer(&llama(), &ParallelismStrategy::new(1, 1, 1024)),
+            0.0
+        );
     }
 
     #[test]
@@ -205,13 +220,19 @@ mod tests {
         let t_narrow = comm.dp_time_per_iteration(&llama(), &narrow);
         let t_wide = comm.dp_time_per_iteration(&llama(), &wide);
         assert!(t_wide < t_narrow);
-        assert_eq!(comm.dp_time_per_iteration(&llama(), &ParallelismStrategy::new(64, 16, 1)), 0.0);
+        assert_eq!(
+            comm.dp_time_per_iteration(&llama(), &ParallelismStrategy::new(64, 16, 1)),
+            0.0
+        );
     }
 
     #[test]
     fn pp_time_is_zero_without_pipeline() {
         let comm = CommModel::paper_defaults();
-        assert_eq!(comm.pp_time_per_microbatch(&llama(), &ParallelismStrategy::new(8, 1, 128)), 0.0);
+        assert_eq!(
+            comm.pp_time_per_microbatch(&llama(), &ParallelismStrategy::new(8, 1, 128)),
+            0.0
+        );
         assert!(comm.pp_time_per_microbatch(&llama(), &ParallelismStrategy::new(8, 16, 8)) > 0.0);
     }
 }

@@ -53,11 +53,9 @@ impl MemoryModel {
         let expert_params =
             model.moe_layers() as f64 * model.ffn_params_per_layer() * model.experts as f64;
         let non_expert_params = model.total_params() - expert_params;
-        let params_per_gpu =
-            (non_expert_params + expert_params / strategy.ep as f64) / shard;
+        let params_per_gpu = (non_expert_params + expert_params / strategy.ep as f64) / shard;
         let resident = params_per_gpu * self.bytes_per_param_resident;
-        let optimizer =
-            params_per_gpu * self.bytes_per_param_optimizer / strategy.dp as f64;
+        let optimizer = params_per_gpu * self.bytes_per_param_optimizer / strategy.dp as f64;
 
         // Activations: each pipeline stage holds up to `pp` in-flight
         // micro-batches worth of activations for its layers (1F1B schedule).
@@ -66,7 +64,9 @@ impl MemoryModel {
         let activation_per_layer =
             self.activation_coefficient * tokens_per_microbatch * model.hidden as f64
                 / strategy.tp as f64;
-        let in_flight = strategy.pp.min(strategy.microbatches_per_replica(model.global_batch));
+        let in_flight = strategy
+            .pp
+            .min(strategy.microbatches_per_replica(model.global_batch));
         let activations = activation_per_layer * layers_per_stage * in_flight as f64;
 
         Bytes(resident + optimizer + activations)

@@ -74,7 +74,11 @@ impl TrainingSimulator {
     /// Simulates `model` trained with `strategy` on a cluster of exactly
     /// `strategy.gpus()` GPUs. Returns an error when the strategy is invalid or
     /// does not fit in GPU memory.
-    pub fn estimate(&self, model: &ModelConfig, strategy: &ParallelismStrategy) -> Result<MfuEstimate> {
+    pub fn estimate(
+        &self,
+        model: &ModelConfig,
+        strategy: &ParallelismStrategy,
+    ) -> Result<MfuEstimate> {
         strategy.validate(
             strategy.gpus(),
             model.layers,
@@ -95,9 +99,9 @@ impl TrainingSimulator {
         // --- Compute ------------------------------------------------------
         // FLOPs executed by one GPU for one micro-batch of one stage.
         let flops_per_mb_stage_gpu = total_flops / (microbatches as f64 * gpus);
-        let mut compute_time = self
-            .compute
-            .compute_time(flops_per_mb_stage_gpu, &self.gpu, strategy.tp);
+        let mut compute_time =
+            self.compute
+                .compute_time(flops_per_mb_stage_gpu, &self.gpu, strategy.tp);
         // Expert imbalance stretches the MoE FFN share of the compute when the
         // experts are EP-parallelised.
         if model.kind == ModelKind::MoE && strategy.ep > 1 {
@@ -120,8 +124,7 @@ impl TrainingSimulator {
         // --- Assembly --------------------------------------------------------
         let t_microbatch = compute_time + tp_comm + ep_comm + pp_comm;
         let bubble_ratio = PipelineModel::bubble_ratio(strategy, microbatches);
-        let iteration =
-            microbatches as f64 * t_microbatch * (1.0 + bubble_ratio) + dp_comm;
+        let iteration = microbatches as f64 * t_microbatch * (1.0 + bubble_ratio) + dp_comm;
 
         let mfu = total_flops / (gpus * self.gpu.peak_tflops * 1e12 * iteration);
 

@@ -116,8 +116,7 @@ impl ModelConfig {
     pub fn total_params(&self) -> f64 {
         let attention = self.layers as f64 * self.attention_params_per_layer();
         let dense_ffn = self.dense_layers() as f64 * self.ffn_params_per_layer();
-        let moe_ffn =
-            self.moe_layers() as f64 * self.ffn_params_per_layer() * self.experts as f64;
+        let moe_ffn = self.moe_layers() as f64 * self.ffn_params_per_layer() * self.experts as f64;
         let embedding = 2.0 * (self.vocab as f64) * (self.hidden as f64);
         attention + dense_ffn + moe_ffn + embedding
     }
@@ -127,9 +126,8 @@ impl ModelConfig {
     pub fn activated_params(&self) -> f64 {
         let attention = self.layers as f64 * self.attention_params_per_layer();
         let dense_ffn = self.dense_layers() as f64 * self.ffn_params_per_layer();
-        let moe_ffn = self.moe_layers() as f64
-            * self.ffn_params_per_layer()
-            * (self.top_k.max(1) as f64);
+        let moe_ffn =
+            self.moe_layers() as f64 * self.ffn_params_per_layer() * (self.top_k.max(1) as f64);
         let embedding = 2.0 * (self.vocab as f64) * (self.hidden as f64);
         attention + dense_ffn + moe_ffn + embedding
     }
@@ -208,10 +206,7 @@ mod tests {
     #[test]
     fn attention_and_ffn_parameter_formulas() {
         let model = ModelConfig::llama31_405b();
-        assert_eq!(
-            model.attention_params_per_layer(),
-            4.0 * 16384.0 * 16384.0
-        );
+        assert_eq!(model.attention_params_per_layer(), 4.0 * 16384.0 * 16384.0);
         assert_eq!(model.ffn_params_per_layer(), 3.0 * 16384.0 * 53248.0);
     }
 }

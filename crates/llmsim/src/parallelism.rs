@@ -60,9 +60,17 @@ impl ParallelismStrategy {
 
     /// Validates the strategy against a cluster of `gpus` GPUs, a model with
     /// `layers` layers and `experts` experts, and a global batch size.
-    pub fn validate(&self, gpus: usize, layers: usize, experts: usize, global_batch: usize) -> Result<()> {
+    pub fn validate(
+        &self,
+        gpus: usize,
+        layers: usize,
+        experts: usize,
+        global_batch: usize,
+    ) -> Result<()> {
         if self.tp == 0 || self.pp == 0 || self.dp == 0 || self.ep == 0 || self.vpp == 0 {
-            return Err(HbdError::invalid_config("all parallelism degrees must be positive"));
+            return Err(HbdError::invalid_config(
+                "all parallelism degrees must be positive",
+            ));
         }
         if self.micro_batch == 0 {
             return Err(HbdError::invalid_config("micro-batch must be positive"));
@@ -79,20 +87,20 @@ impl ParallelismStrategy {
                 self.pp * self.vpp
             )));
         }
-        if global_batch % (self.dp * self.micro_batch) != 0 {
+        if !global_batch.is_multiple_of(self.dp * self.micro_batch) {
             return Err(HbdError::invalid_config(format!(
                 "global batch {global_batch} is not divisible by dp×micro_batch = {}",
                 self.dp * self.micro_batch
             )));
         }
         if self.ep > 1 {
-            if experts % self.ep != 0 {
+            if !experts.is_multiple_of(self.ep) {
                 return Err(HbdError::invalid_config(format!(
                     "{experts} experts cannot be split over EP = {}",
                     self.ep
                 )));
             }
-            if self.dp % self.ep != 0 {
+            if !self.dp.is_multiple_of(self.ep) {
                 return Err(HbdError::invalid_config(format!(
                     "EP = {} must divide DP = {} (EP groups are carved out of the DP dimension)",
                     self.ep, self.dp
@@ -105,11 +113,7 @@ impl ParallelismStrategy {
 
 impl fmt::Display for ParallelismStrategy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "TP{} PP{} DP{} EP{}",
-            self.tp, self.pp, self.dp, self.ep
-        )
+        write!(f, "TP{} PP{} DP{} EP{}", self.tp, self.pp, self.dp, self.ep)
     }
 }
 

@@ -53,12 +53,8 @@ mod tests {
     fn bubble_grows_with_depth_and_shrinks_with_microbatches() {
         let deep = ParallelismStrategy::new(8, 16, 16);
         let shallow = ParallelismStrategy::new(8, 4, 64);
-        assert!(
-            PipelineModel::bubble_ratio(&deep, 16) > PipelineModel::bubble_ratio(&shallow, 16)
-        );
-        assert!(
-            PipelineModel::bubble_ratio(&deep, 128) < PipelineModel::bubble_ratio(&deep, 16)
-        );
+        assert!(PipelineModel::bubble_ratio(&deep, 16) > PipelineModel::bubble_ratio(&shallow, 16));
+        assert!(PipelineModel::bubble_ratio(&deep, 128) < PipelineModel::bubble_ratio(&deep, 16));
     }
 
     #[test]

@@ -72,7 +72,10 @@ impl StrategySearch {
 
     /// Search with the paper's defaults.
     pub fn paper_defaults() -> Self {
-        Self::new(TrainingSimulator::paper_defaults(), SearchSpace::paper_grid())
+        Self::new(
+            TrainingSimulator::paper_defaults(),
+            SearchSpace::paper_grid(),
+        )
     }
 
     /// Enumerates every feasible strategy for `model` on `gpus` GPUs, together
@@ -86,7 +89,7 @@ impl StrategySearch {
         };
         for &tp in &self.space.tp {
             for &pp in &self.space.pp {
-                if tp * pp > gpus || gpus % (tp * pp) != 0 {
+                if tp * pp > gpus || !gpus.is_multiple_of(tp * pp) {
                     continue;
                 }
                 let dp = gpus / (tp * pp);
@@ -135,10 +138,7 @@ impl StrategySearch {
         gpus: usize,
         cap: usize,
     ) -> Result<MfuEstimate> {
-        let constrained = StrategySearch::new(
-            self.simulator,
-            self.space.clone().with_tp_cap(cap),
-        );
+        let constrained = StrategySearch::new(self.simulator, self.space.clone().with_tp_cap(cap));
         constrained.optimal(model, gpus)
     }
 }
@@ -200,7 +200,11 @@ mod tests {
         let search = StrategySearch::paper_defaults();
         let model = ModelConfig::gpt_moe_1t();
         let best = search.optimal(&model, 4096).unwrap();
-        assert_eq!(best.strategy.ep, 1, "optimal strategy should avoid EP: {}", best.strategy);
+        assert_eq!(
+            best.strategy.ep, 1,
+            "optimal strategy should avoid EP: {}",
+            best.strategy
+        );
         // The optimum uses a multi-node TP group (the exact size depends on the
         // analytical calibration; the growth-with-scale trend is asserted in
         // `optimal_tp_grows_with_cluster_size`).

@@ -44,7 +44,9 @@ impl Bundle {
     /// Creates a bundle with an explicit per-module configuration.
     pub fn with_config(modules: usize, config: TrxConfig) -> Result<Self> {
         if modules == 0 {
-            return Err(HbdError::invalid_config("a bundle needs at least one OCSTrx"));
+            return Err(HbdError::invalid_config(
+                "a bundle needs at least one OCSTrx",
+            ));
         }
         Ok(Bundle {
             modules: (0..modules)

@@ -150,13 +150,28 @@ mod tests {
     fn controller_with_standard_sessions() -> FastSwitchController {
         let mut controller = FastSwitchController::new();
         controller
-            .preload(SessionId(1), SessionConfig { path: PathId::External1 })
+            .preload(
+                SessionId(1),
+                SessionConfig {
+                    path: PathId::External1,
+                },
+            )
             .unwrap();
         controller
-            .preload(SessionId(2), SessionConfig { path: PathId::External2 })
+            .preload(
+                SessionId(2),
+                SessionConfig {
+                    path: PathId::External2,
+                },
+            )
             .unwrap();
         controller
-            .preload(SessionId(3), SessionConfig { path: PathId::Loopback })
+            .preload(
+                SessionId(3),
+                SessionConfig {
+                    path: PathId::Loopback,
+                },
+            )
             .unwrap();
         controller
     }
@@ -184,9 +199,18 @@ mod tests {
         let mut controller = FastSwitchController::new();
         let mut trx = OcsTrx::new();
         let t = controller
-            .cold_switch(&mut trx, SessionId(7), SessionConfig { path: PathId::Loopback })
+            .cold_switch(
+                &mut trx,
+                SessionId(7),
+                SessionConfig {
+                    path: PathId::Loopback,
+                },
+            )
             .unwrap();
-        assert!(t.value() > 1_000.0, "cold switch should cost milliseconds, got {t}");
+        assert!(
+            t.value() > 1_000.0,
+            "cold switch should cost milliseconds, got {t}"
+        );
         assert!(controller.is_preloaded(SessionId(7)));
         // The same session is now fast.
         trx.reconfigure(PathId::External1).unwrap();
@@ -198,17 +222,37 @@ mod tests {
     fn preload_respects_capacity() {
         let mut controller = FastSwitchController::with_capacity(2, Microseconds(1000.0));
         controller
-            .preload(SessionId(1), SessionConfig { path: PathId::External1 })
+            .preload(
+                SessionId(1),
+                SessionConfig {
+                    path: PathId::External1,
+                },
+            )
             .unwrap();
         controller
-            .preload(SessionId(2), SessionConfig { path: PathId::External2 })
+            .preload(
+                SessionId(2),
+                SessionConfig {
+                    path: PathId::External2,
+                },
+            )
             .unwrap();
         assert!(controller
-            .preload(SessionId(3), SessionConfig { path: PathId::Loopback })
+            .preload(
+                SessionId(3),
+                SessionConfig {
+                    path: PathId::Loopback
+                }
+            )
             .is_err());
         // Updating an existing session is always allowed.
         assert!(controller
-            .preload(SessionId(2), SessionConfig { path: PathId::Loopback })
+            .preload(
+                SessionId(2),
+                SessionConfig {
+                    path: PathId::Loopback
+                }
+            )
             .is_ok());
         assert_eq!(controller.preloaded(), 2);
     }
@@ -217,11 +261,22 @@ mod tests {
     fn cold_switch_evicts_when_full() {
         let mut controller = FastSwitchController::with_capacity(1, Microseconds(1000.0));
         controller
-            .preload(SessionId(1), SessionConfig { path: PathId::External1 })
+            .preload(
+                SessionId(1),
+                SessionConfig {
+                    path: PathId::External1,
+                },
+            )
             .unwrap();
         let mut trx = OcsTrx::new();
         controller
-            .cold_switch(&mut trx, SessionId(2), SessionConfig { path: PathId::External2 })
+            .cold_switch(
+                &mut trx,
+                SessionId(2),
+                SessionConfig {
+                    path: PathId::External2,
+                },
+            )
             .unwrap();
         assert!(controller.is_preloaded(SessionId(2)));
         assert!(!controller.is_preloaded(SessionId(1)));

@@ -57,7 +57,7 @@ impl MziSwitchMatrix {
     /// `lanes` must be even and at least 2, because the cross-lane loopback
     /// connects a lane in the upper half to a lane in the lower half.
     pub fn new(lanes: usize) -> Result<Self> {
-        if lanes < 2 || lanes % 2 != 0 {
+        if lanes < 2 || !lanes.is_multiple_of(2) {
             return Err(HbdError::invalid_config(format!(
                 "MZI matrix needs an even number of lanes >= 2, got {lanes}"
             )));
@@ -79,7 +79,9 @@ impl MziSwitchMatrix {
             .collect();
         Ok(MziSwitchMatrix {
             lanes,
-            front: (0..lanes).map(|_| [MziElement::new(), MziElement::new()]).collect(),
+            front: (0..lanes)
+                .map(|_| [MziElement::new(), MziElement::new()])
+                .collect(),
             loopback_stages,
             loopback_elements,
             targets,
@@ -98,10 +100,9 @@ impl MziSwitchMatrix {
 
     /// Current target of `lane`.
     pub fn target(&self, lane: usize) -> Result<LaneTarget> {
-        self.targets
-            .get(lane)
-            .copied()
-            .ok_or_else(|| HbdError::unknown_entity(format!("lane {lane} of {}-lane matrix", self.lanes)))
+        self.targets.get(lane).copied().ok_or_else(|| {
+            HbdError::unknown_entity(format!("lane {lane} of {}-lane matrix", self.lanes))
+        })
     }
 
     /// Steers `lane` to an external output. Returns the settling time in
@@ -194,7 +195,11 @@ impl MziSwitchMatrix {
             .flat_map(|pair| pair.iter())
             .map(|e| e.heater_power_mw())
             .sum();
-        let matrix: f64 = self.loopback_elements.iter().map(|e| e.heater_power_mw()).sum();
+        let matrix: f64 = self
+            .loopback_elements
+            .iter()
+            .map(|e| e.heater_power_mw())
+            .sum();
         front + matrix
     }
 
@@ -260,7 +265,10 @@ mod tests {
         let mut matrix = MziSwitchMatrix::new(8).unwrap();
         let t = matrix.steer_external(0, PathId::External2).unwrap();
         assert!(t > 0.0);
-        assert_eq!(matrix.target(0).unwrap(), LaneTarget::External(PathId::External2));
+        assert_eq!(
+            matrix.target(0).unwrap(),
+            LaneTarget::External(PathId::External2)
+        );
         // Re-applying the same target costs no settling time.
         assert_eq!(matrix.steer_external(0, PathId::External2).unwrap(), 0.0);
     }
@@ -276,8 +284,14 @@ mod tests {
         let mut matrix = MziSwitchMatrix::new(8).unwrap();
         let t = matrix.steer_loopback(1, 5).unwrap();
         assert!(t > 0.0);
-        assert_eq!(matrix.target(1).unwrap(), LaneTarget::Loopback { partner: 5 });
-        assert_eq!(matrix.target(5).unwrap(), LaneTarget::Loopback { partner: 1 });
+        assert_eq!(
+            matrix.target(1).unwrap(),
+            LaneTarget::Loopback { partner: 5 }
+        );
+        assert_eq!(
+            matrix.target(5).unwrap(),
+            LaneTarget::Loopback { partner: 1 }
+        );
         assert!(matrix.validate().is_ok());
     }
 
@@ -304,7 +318,9 @@ mod tests {
         assert_eq!(matrix.stages_for(PathId::External1), 2);
         assert_eq!(matrix.stages_for(PathId::External2), 2);
         assert!(matrix.stages_for(PathId::Loopback) > 2);
-        assert!(matrix.element_loss_db(PathId::Loopback) > matrix.element_loss_db(PathId::External1));
+        assert!(
+            matrix.element_loss_db(PathId::Loopback) > matrix.element_loss_db(PathId::External1)
+        );
         // Design goal: both external outputs see identical attenuation.
         assert_eq!(
             matrix.element_loss_db(PathId::External1),

@@ -79,8 +79,14 @@ impl MziElement {
         heater_power_mw: f64,
         switch_time_us: f64,
     ) -> Self {
-        assert!(insertion_loss_db >= 0.0, "insertion loss cannot be negative");
-        assert!(extinction_ratio_db > 0.0, "extinction ratio must be positive");
+        assert!(
+            insertion_loss_db >= 0.0,
+            "insertion loss cannot be negative"
+        );
+        assert!(
+            extinction_ratio_db > 0.0,
+            "extinction ratio must be positive"
+        );
         assert!(switch_time_us > 0.0, "switch time must be positive");
         MziElement {
             state: MziState::Bar,

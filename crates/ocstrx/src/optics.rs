@@ -280,7 +280,10 @@ mod tests {
         for &temp in &[0.0, 25.0, 50.0, 85.0] {
             let samples = model.sample_population(temp, 500, &mut rng);
             for &s in &samples {
-                assert!(s >= 2.0 && s <= 5.0, "loss {s} out of plausible range at {temp}C");
+                assert!(
+                    (2.0..=5.0).contains(&s),
+                    "loss {s} out of plausible range at {temp}C"
+                );
             }
             let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
             assert!((mean - model.mean_db(temp)).abs() < 0.1);

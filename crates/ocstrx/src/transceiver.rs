@@ -39,7 +39,7 @@ impl TrxConfig {
 
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
-        if self.lanes == 0 || self.lanes % 2 != 0 {
+        if self.lanes == 0 || !self.lanes.is_multiple_of(2) {
             return Err(HbdError::invalid_config(format!(
                 "OCSTrx needs an even, positive lane count (got {})",
                 self.lanes
@@ -291,7 +291,10 @@ mod tests {
         assert_eq!(trx.bandwidth_on(PathId::External1), Gbps(800.0));
         assert_eq!(trx.bandwidth_on(PathId::External2), Gbps::ZERO);
         assert_eq!(trx.bandwidth_on(PathId::Loopback), Gbps::ZERO);
-        let total: f64 = PathId::ALL.iter().map(|&p| trx.bandwidth_on(p).value()).sum();
+        let total: f64 = PathId::ALL
+            .iter()
+            .map(|&p| trx.bandwidth_on(p).value())
+            .sum();
         assert_eq!(total, 800.0);
     }
 
@@ -309,7 +312,10 @@ mod tests {
     #[test]
     fn reactivating_the_active_path_is_free() {
         let mut trx = OcsTrx::new();
-        assert_eq!(trx.reconfigure(PathId::External1).unwrap(), Microseconds::ZERO);
+        assert_eq!(
+            trx.reconfigure(PathId::External1).unwrap(),
+            Microseconds::ZERO
+        );
         assert_eq!(trx.reconfiguration_count(), 0);
     }
 

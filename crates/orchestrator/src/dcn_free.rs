@@ -56,9 +56,8 @@ pub fn orchestrate_dcn_free(
         .filter(|(_, node)| !faults.is_faulty(**node))
         .map(|(i, _)| NodeId(i))
         .collect();
-    let healthy_graph = graph.induced_subgraph(|pos| {
-        pos.index() < order.len() && !faults.is_faulty(order[pos.index()])
-    });
+    let healthy_graph = graph
+        .induced_subgraph(|pos| pos.index() < order.len() && !faults.is_faulty(order[pos.index()]));
     let components = healthy_graph.connected_components(&healthy_positions);
 
     // Cut each component (already sorted in HBD order) into groups of m.

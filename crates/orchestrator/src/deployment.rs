@@ -27,7 +27,9 @@ impl DeploymentStrategy {
     /// rack.
     pub fn new(nodes: usize, nodes_per_tor: usize) -> Result<Self> {
         if nodes == 0 {
-            return Err(HbdError::invalid_config("deployment needs at least one node"));
+            return Err(HbdError::invalid_config(
+                "deployment needs at least one node",
+            ));
         }
         if nodes_per_tor == 0 {
             return Err(HbdError::invalid_config("nodes_per_tor must be positive"));
@@ -145,14 +147,8 @@ mod tests {
         let deploy = DeploymentStrategy::new(16, 4).unwrap();
         let order = deploy.deployment_order();
         assert_eq!(order.len(), 16);
-        assert_eq!(
-            &order[0..4],
-            &[NodeId(0), NodeId(4), NodeId(8), NodeId(12)]
-        );
-        assert_eq!(
-            &order[4..8],
-            &[NodeId(1), NodeId(5), NodeId(9), NodeId(13)]
-        );
+        assert_eq!(&order[0..4], &[NodeId(0), NodeId(4), NodeId(8), NodeId(12)]);
+        assert_eq!(&order[4..8], &[NodeId(1), NodeId(5), NodeId(9), NodeId(13)]);
         // Every node appears exactly once.
         let mut seen: Vec<usize> = order.iter().map(|n| n.index()).collect();
         seen.sort();
@@ -178,7 +174,10 @@ mod tests {
     #[test]
     fn main_and_backup_neighbours_follow_fig7() {
         let deploy = DeploymentStrategy::new(16, 4).unwrap();
-        assert_eq!(deploy.main_neighbours(NodeId(5)), vec![NodeId(1), NodeId(9)]);
+        assert_eq!(
+            deploy.main_neighbours(NodeId(5)),
+            vec![NodeId(1), NodeId(9)]
+        );
         assert_eq!(deploy.backup_neighbours(NodeId(5)), vec![NodeId(13)]);
         assert_eq!(deploy.main_neighbours(NodeId(0)), vec![NodeId(4)]);
         assert_eq!(deploy.backup_neighbours(NodeId(14)), vec![NodeId(6)]);

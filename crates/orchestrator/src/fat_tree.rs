@@ -48,7 +48,9 @@ impl OrchestrationRequest {
             return Err(HbdError::invalid_config("K must be positive"));
         }
         if self.job_nodes == 0 {
-            return Err(HbdError::invalid_config("job must request at least one node"));
+            return Err(HbdError::invalid_config(
+                "job must request at least one node",
+            ));
         }
         Ok(())
     }
@@ -136,7 +138,8 @@ impl FatTreeOrchestrator {
             else {
                 break 'segments;
             };
-            let placed = orchestrate_dcn_free(&nodes, request.k, &effective, request.nodes_per_group);
+            let placed =
+                orchestrate_dcn_free(&nodes, request.k, &effective, request.nodes_per_group);
             for group in &placed.groups {
                 consumed.extend(group.nodes.iter().copied());
             }
@@ -254,7 +257,10 @@ mod tests {
         let faults = FaultSet::from_nodes((0..10).map(|i| NodeId(i * 37)));
         let placement = orch.orchestrate(&request(400), &faults).unwrap();
         let rate = cross_tor_rate(&placement, orch.fat_tree(), &TrafficModel::paper_tp32());
-        assert!(rate < 0.02, "optimized cross-ToR rate should be near zero, got {rate}");
+        assert!(
+            rate < 0.02,
+            "optimized cross-ToR rate should be near zero, got {rate}"
+        );
     }
 
     #[test]
@@ -263,7 +269,11 @@ mod tests {
         // Concentrated faults in domain 0 make constrained placement expensive.
         let faults = FaultSet::from_nodes((0..32).map(NodeId));
         let req = request(400);
-        let strict = orch.placement_with_constraints(&req, &faults, orch.segment_constraints() + orch.alignment_constraints());
+        let strict = orch.placement_with_constraints(
+            &req,
+            &faults,
+            orch.segment_constraints() + orch.alignment_constraints(),
+        );
         let relaxed = orch.placement_with_constraints(&req, &faults, 0);
         assert!(relaxed.nodes_placed() >= strict.nodes_placed());
     }

@@ -75,6 +75,6 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let scheme = greedy_placement(10, &FaultSet::new(), 4, 1000, &mut rng);
         assert_eq!(scheme.len(), 2);
-        assert!(!scheme.satisfies(1000 / 1));
+        assert!(!scheme.satisfies(1000));
     }
 }

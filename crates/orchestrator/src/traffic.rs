@@ -118,7 +118,10 @@ mod tests {
     #[test]
     fn empty_scheme_has_no_traffic() {
         let scheme = PlacementScheme::new();
-        assert_eq!(cross_tor_rate(&scheme, &tree(), &TrafficModel::default()), 0.0);
+        assert_eq!(
+            cross_tor_rate(&scheme, &tree(), &TrafficModel::default()),
+            0.0
+        );
         assert_eq!(cross_tor_pair_fraction(&scheme, &tree()), 0.0);
     }
 
@@ -128,7 +131,10 @@ mod tests {
         // share ToR 0, 4-7 share ToR 1).
         let scheme = PlacementScheme::from_groups(vec![group(&[0, 4]), group(&[1, 5])]);
         assert_eq!(cross_tor_pair_fraction(&scheme, &tree()), 0.0);
-        assert_eq!(cross_tor_rate(&scheme, &tree(), &TrafficModel::default()), 0.0);
+        assert_eq!(
+            cross_tor_rate(&scheme, &tree(), &TrafficModel::default()),
+            0.0
+        );
     }
 
     #[test]

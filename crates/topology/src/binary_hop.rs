@@ -31,7 +31,9 @@ impl BinaryHopRing {
     /// (`k ≤ gpus_per_node`), reaching distances `±2^0 .. ±2^(k−1)`.
     pub fn new(nodes: usize, gpus_per_node: usize, k: usize) -> Result<Self> {
         if nodes == 0 {
-            return Err(HbdError::invalid_config("Binary-Hop Ring needs at least one node"));
+            return Err(HbdError::invalid_config(
+                "Binary-Hop Ring needs at least one node",
+            ));
         }
         if gpus_per_node == 0 {
             return Err(HbdError::invalid_config("nodes need at least one GPU"));
@@ -47,7 +49,11 @@ impl BinaryHopRing {
                 k - 1
             )));
         }
-        Ok(BinaryHopRing { nodes, gpus_per_node, k })
+        Ok(BinaryHopRing {
+            nodes,
+            gpus_per_node,
+            k,
+        })
     }
 
     /// Number of nodes.
@@ -109,12 +115,7 @@ impl BinaryHopRing {
     /// round `j`, node `base + i` must reach `base + (i ⊕ 2^j)`, i.e. the
     /// offset `2^j` must be one of the wiring's hop distances and neither
     /// endpoint may be faulty.
-    pub fn can_run_binary_exchange(
-        &self,
-        base: NodeId,
-        group: usize,
-        faults: &FaultSet,
-    ) -> bool {
+    pub fn can_run_binary_exchange(&self, base: NodeId, group: usize, faults: &FaultSet) -> bool {
         if group < 2 || !group.is_power_of_two() || group > self.max_ep_group_nodes() {
             return false;
         }

@@ -36,12 +36,19 @@ impl DojoMesh {
     /// Creates a `rows × cols` mesh of nodes with `gpus_per_node` GPUs each.
     pub fn new(rows: usize, cols: usize, gpus_per_node: usize) -> Result<Self> {
         if rows == 0 || cols == 0 {
-            return Err(HbdError::invalid_config("mesh needs at least one row and one column"));
+            return Err(HbdError::invalid_config(
+                "mesh needs at least one row and one column",
+            ));
         }
         if gpus_per_node == 0 {
             return Err(HbdError::invalid_config("nodes need at least one GPU"));
         }
-        Ok(DojoMesh { rows, cols, gpus_per_node, populated: None })
+        Ok(DojoMesh {
+            rows,
+            cols,
+            gpus_per_node,
+            populated: None,
+        })
     }
 
     /// Builds the most-square mesh that holds `nodes` nodes (the last row may

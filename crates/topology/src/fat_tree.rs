@@ -56,7 +56,11 @@ pub struct FatTree {
 
 impl FatTree {
     /// Creates a Fat-Tree over `nodes` nodes with the given rack layout.
-    pub fn new(nodes: usize, nodes_per_tor: usize, tors_per_aggregation_domain: usize) -> Result<Self> {
+    pub fn new(
+        nodes: usize,
+        nodes_per_tor: usize,
+        tors_per_aggregation_domain: usize,
+    ) -> Result<Self> {
         if nodes == 0 {
             return Err(HbdError::invalid_config("fat-tree needs at least one node"));
         }
@@ -189,8 +193,14 @@ mod tests {
     #[test]
     fn distance_classes_and_hops() {
         let tree = paper_tree();
-        assert_eq!(tree.distance(NodeId(3), NodeId(3)).unwrap(), NetworkDistance::SameNode);
-        assert_eq!(tree.distance(NodeId(0), NodeId(15)).unwrap(), NetworkDistance::SameToR);
+        assert_eq!(
+            tree.distance(NodeId(3), NodeId(3)).unwrap(),
+            NetworkDistance::SameNode
+        );
+        assert_eq!(
+            tree.distance(NodeId(0), NodeId(15)).unwrap(),
+            NetworkDistance::SameToR
+        );
         assert_eq!(
             tree.distance(NodeId(0), NodeId(16)).unwrap(),
             NetworkDistance::SameAggregationDomain

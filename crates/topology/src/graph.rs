@@ -165,7 +165,10 @@ mod tests {
         g.add_edge(NodeId(2), NodeId(4));
         g.add_edge(NodeId(2), NodeId(0));
         g.add_edge(NodeId(2), NodeId(3));
-        assert_eq!(g.neighbours(NodeId(2)), vec![NodeId(0), NodeId(3), NodeId(4)]);
+        assert_eq!(
+            g.neighbours(NodeId(2)),
+            vec![NodeId(0), NodeId(3), NodeId(4)]
+        );
     }
 
     #[test]

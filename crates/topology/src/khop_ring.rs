@@ -86,7 +86,9 @@ impl KHopRing {
 
     fn with_closure(nodes: usize, gpus_per_node: usize, k: usize, closed: bool) -> Result<Self> {
         if nodes == 0 {
-            return Err(HbdError::invalid_config("K-Hop Ring needs at least one node"));
+            return Err(HbdError::invalid_config(
+                "K-Hop Ring needs at least one node",
+            ));
         }
         if gpus_per_node == 0 {
             return Err(HbdError::invalid_config("nodes need at least one GPU"));
@@ -341,7 +343,11 @@ mod tests {
         let spread: FaultSet = (0..16).map(|i| NodeId(i * 45)).collect();
         let report = ring.utilization(&spread, 32);
         assert_eq!(report.faulty_gpus, 64);
-        assert!(report.waste_ratio() < 0.02, "waste {}", report.waste_ratio());
+        assert!(
+            report.waste_ratio() < 0.02,
+            "waste {}",
+            report.waste_ratio()
+        );
     }
 
     #[test]

@@ -32,7 +32,7 @@ impl Node {
         bundle_count: usize,
         modules_per_bundle: usize,
     ) -> Result<Self> {
-        if gpus_per_node == 0 || gpus_per_node % 2 != 0 {
+        if gpus_per_node == 0 || !gpus_per_node.is_multiple_of(2) {
             return Err(HbdError::invalid_config(format!(
                 "a node needs a positive, even GPU count (got {gpus_per_node})"
             )));

@@ -31,7 +31,7 @@ impl SipRing {
         if gpus_per_node == 0 {
             return Err(HbdError::invalid_config("nodes need at least one GPU"));
         }
-        if ring_gpus == 0 || ring_gpus % gpus_per_node != 0 {
+        if ring_gpus == 0 || !ring_gpus.is_multiple_of(gpus_per_node) {
             return Err(HbdError::invalid_config(format!(
                 "ring size ({ring_gpus} GPUs) must be a positive multiple of the node size ({gpus_per_node})"
             )));

@@ -97,7 +97,11 @@ impl HbdArchitecture for TpuV4 {
             // Groups span whole cubes; only fully healthy, full-size cubes count.
             let full_cubes = per_cube.iter().filter(|&&h| h == CUBE_GPUS).count();
             let cubes_per_group = tp_size / CUBE_GPUS
-                + if tp_size % CUBE_GPUS == 0 { 0 } else { 1 };
+                + if tp_size.is_multiple_of(CUBE_GPUS) {
+                    0
+                } else {
+                    1
+                };
             let groups = full_cubes / cubes_per_group;
             groups * tp_size
         };

@@ -36,26 +36,35 @@ fn main() -> Result<()> {
     for (tp, ep) in [(4usize, 8usize), (4, 16), (8, 16)] {
         println!(
             "  TP-{tp} x EP-{ep} on 4-GPU nodes: {}",
-            if four_gpu.supports_hybrid(tp, ep) { "supported" } else { "exceeds the coupling constraint" }
+            if four_gpu.supports_hybrid(tp, ep) {
+                "supported"
+            } else {
+                "exceeds the coupling constraint"
+            }
         );
     }
     let faults = FaultSet::from_nodes([NodeId(3)]);
     println!(
         "  EP-8 group at node 0 with node 3 faulty: {}\n",
-        if four_gpu.can_run_binary_exchange(NodeId(0), 8, &faults) { "runnable" } else { "blocked (fault inside the group)" }
+        if four_gpu.can_run_binary_exchange(NodeId(0), 8, &faults) {
+            "runnable"
+        } else {
+            "blocked (fault inside the group)"
+        }
     );
 
     // 2. Binary Exchange vs ring AllToAll for a DeepSeek-style MoE dispatch.
     let link = AlphaBeta::hbd_default();
     let block = Bytes::from_mb(24.0); // per-destination token block of one MoE layer
     println!("AllToAll timing, 24 MiB per destination block, 800 GB/s OCSTrx links");
-    println!("{:>8} {:>14} {:>18} {:>18} {:>10}", "EP size", "ring O(p^2)", "binexch (exposed)", "binexch (overlap)", "speedup");
+    println!(
+        "{:>8} {:>14} {:>18} {:>18} {:>10}",
+        "EP size", "ring O(p^2)", "binexch (exposed)", "binexch (overlap)", "speedup"
+    );
     for p in [4usize, 8, 16, 32, 64] {
         let schedule = FastSwitchAllToAll::new(p);
         let exposed = schedule.cost(block, &link);
-        let overlapped = schedule
-            .overlapped(Seconds(200e-6))
-            .cost(block, &link);
+        let overlapped = schedule.overlapped(Seconds(200e-6)).cost(block, &link);
         let ring = schedule.ring_fallback(block, &link);
         println!(
             "{:>8} {:>12.3} ms {:>15.3} ms {:>15.3} ms {:>9.2}x",
@@ -71,7 +80,11 @@ fn main() -> Result<()> {
     // hierarchical schedule keeps the slow inter-node ring short.
     let hierarchical = HierarchicalAllReduce::new(8, 16);
     let message = Bytes::from_gib(2.0);
-    let speedup = hierarchical.speedup(message, &AlphaBeta::hbd_default(), &AlphaBeta::dcn_default());
+    let speedup = hierarchical.speedup(
+        message,
+        &AlphaBeta::hbd_default(),
+        &AlphaBeta::dcn_default(),
+    );
     println!(
         "\nhierarchical AllReduce over {} GPUs ({} GPUs/node x {} nodes): {:.1}x faster than a flat ring\n\
          when the inter-node tier is DCN-class bandwidth.",

@@ -46,8 +46,7 @@ fn main() -> Result<()> {
 
     // The same fault handled with production software latencies, to show where
     // the end-to-end recovery time really goes (hint: not the optics).
-    let mut production =
-        ClusterManager::new(ring, ControlLatencies::production_defaults())?;
+    let mut production = ClusterManager::new(ring, ControlLatencies::production_defaults())?;
     let report = production.inject_fault(NodeId(42), Seconds(0.0))?;
     println!(
         "with production control-plane latencies the same failover takes {:.3} s end-to-end,\n\

@@ -16,7 +16,11 @@ fn main() -> Result<()> {
     for row in NormalizedCost::table6() {
         println!(
             "{:<18} {:>12.2} {:>10.2} {:>12.2} {:>12.3}",
-            row.name, row.cost_per_gpu, row.watts_per_gpu, row.cost_per_gbyteps, row.watts_per_gbyteps
+            row.name,
+            row.cost_per_gpu,
+            row.watts_per_gpu,
+            row.cost_per_gbyteps,
+            row.watts_per_gbyteps
         );
     }
 
@@ -24,7 +28,10 @@ fn main() -> Result<()> {
     let nodes = 720;
     let mut rng = StdRng::seed_from_u64(3);
     println!("\naggregate cost (normalized, 2,880 GPUs, TP-32):");
-    println!("{:>12} {:>18} {:>12} {:>12}", "fault ratio", "InfiniteHBD(K=2)", "NVL-72", "TPUv4");
+    println!(
+        "{:>12} {:>18} {:>12} {:>12}",
+        "fault ratio", "InfiniteHBD(K=2)", "NVL-72", "TPUv4"
+    );
     for ratio in [0.0, 0.05, 0.10, 0.20] {
         let faults = FaultSet::from_nodes(IidFaultModel::new(nodes, ratio).sample_exact(&mut rng));
         let mut row = vec![format!("{:>11.0}%", ratio * 100.0)];
@@ -33,7 +40,10 @@ fn main() -> Result<()> {
                 Box::new(KHopRing::new(nodes, 4, 2)?) as Box<dyn HbdArchitecture>,
                 ArchitectureBom::infinitehbd_k2(),
             ),
-            (Box::new(Nvl::new(nodes, 4, NvlVariant::Nvl72)), ArchitectureBom::nvl72()),
+            (
+                Box::new(Nvl::new(nodes, 4, NvlVariant::Nvl72)),
+                ArchitectureBom::nvl72(),
+            ),
             (Box::new(TpuV4::new(nodes, 4)), ArchitectureBom::tpuv4()),
         ] {
             let report = arch.utilization(&faults, 32);

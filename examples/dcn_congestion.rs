@@ -36,12 +36,21 @@ fn main() -> Result<()> {
 
     // A 2:1 oversubscribed fabric — the regime where placement starts to
     // matter for wall-clock time, not just for traffic accounting.
-    let network = DcnNetwork::new(tree.clone(), NetworkParams::non_blocking(16, 4).oversubscribed(2.0))?;
+    let network = DcnNetwork::new(
+        tree.clone(),
+        NetworkParams::non_blocking(16, 4).oversubscribed(2.0),
+    )?;
     let spec = TrafficSpec::paper_dp_allreduce();
 
-    println!("job: {} nodes, TP-32, 5% node faults, 2:1 oversubscribed Fat-Tree\n", request.job_nodes);
+    println!(
+        "job: {} nodes, TP-32, 5% node faults, 2:1 oversubscribed Fat-Tree\n",
+        request.job_nodes
+    );
     let model = TrafficModel::paper_tp32();
-    for (label, scheme) in [("greedy baseline", &baseline), ("HBD-DCN optimized", &optimized)] {
+    for (label, scheme) in [
+        ("greedy baseline", &baseline),
+        ("HBD-DCN optimized", &optimized),
+    ] {
         let flows = dp_ring_flows(scheme, &spec);
         let sim = FlowSimulation::run(&network, flows)?;
         let report = sim.report(&network);

@@ -38,10 +38,14 @@ fn main() -> Result<()> {
             gpus_per_node: 4,
             k: 3,
             tp_size: 32,
-            node_failure_probability:
-                infinitehbd::cluster::theory::paper_node_failure_probability(4),
+            node_failure_probability: infinitehbd::cluster::theory::paper_node_failure_probability(
+                4,
+            ),
         },
     );
-    println!("\nAppendix-C upper bound for K=3, R=4, TP-32: {:.3}%", bound * 100.0);
+    println!(
+        "\nAppendix-C upper bound for K=3, R=4, TP-32: {:.3}%",
+        bound * 100.0
+    );
     Ok(())
 }

@@ -9,16 +9,19 @@ fn main() -> Result<()> {
     // A 2,880-GPU cluster: 720 nodes with 4 GPUs each, wired as the paper's
     // K = 3 reconfigurable ring.
     let ring = KHopRing::new(720, 4, 3)?;
-    println!("cluster: {} nodes x {} GPUs = {} GPUs, topology {}",
-        ring.nodes(), ring.gpus_per_node(), ring.total_gpus(), ring.name());
+    println!(
+        "cluster: {} nodes x {} GPUs = {} GPUs, topology {}",
+        ring.nodes(),
+        ring.gpus_per_node(),
+        ring.total_gpus(),
+        ring.name()
+    );
 
     // The transceiver that makes this possible: a QSFP-DD 800G module with an
     // embedded optical circuit switch.
     let mut trx = OcsTrx::new();
     let latency = trx.reconfigure(PathId::External2)?;
-    println!(
-        "OCSTrx fail-over onto the backup fiber takes {latency} (spec: 60-80 us)"
-    );
+    println!("OCSTrx fail-over onto the backup fiber takes {latency} (spec: 60-80 us)");
 
     // Healthy cluster, TP-32: everything is usable.
     let healthy = ring.utilization(&FaultSet::new(), 32);

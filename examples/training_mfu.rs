@@ -33,7 +33,13 @@ fn main() -> Result<()> {
     let tp_strategy = ParallelismStrategy::new(16, 8, 8);
     let ep_strategy = ParallelismStrategy::new(8, 8, 16).with_ep(8);
     println!("\nGPT-MoE 1.1T on 1,024 GPUs (20% expert imbalance):");
-    println!("  TP-sharded experts : MFU {:.4}", sim.estimate(&moe, &tp_strategy)?.mfu);
-    println!("  EP-routed  experts : MFU {:.4}", sim.estimate(&moe, &ep_strategy)?.mfu);
+    println!(
+        "  TP-sharded experts : MFU {:.4}",
+        sim.estimate(&moe, &tp_strategy)?.mfu
+    );
+    println!(
+        "  EP-routed  experts : MFU {:.4}",
+        sim.estimate(&moe, &ep_strategy)?.mfu
+    );
     Ok(())
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local mirror of the CI gate: tier-1 verify plus the examples/benches smoke
+# check and lints. Run from the repo root before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo check --examples --benches"
+cargo check --examples --benches
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "All smoke checks passed."

@@ -1,0 +1,150 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the macro surface this workspace uses — `proptest!` (with an
+//! optional `#![proptest_config(..)]` inner attribute and multiple
+//! `pattern in strategy` binders), `prop_assert!`, `prop_assert_eq!` and
+//! `prop_oneof!` — plus the [`strategy::Strategy`] combinators `prop_map` /
+//! `prop_flat_map`, [`strategy::Just`], range strategies, tuple strategies and
+//! [`collection::vec`] / [`collection::btree_set`].
+//!
+//! Differences from real proptest: failing inputs are *not* shrunk (the
+//! failing case is printed as-is), and sampling is deterministic per test
+//! function (seeded from the test name) so CI failures reproduce locally.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::deterministic_rng(stringify!($name));
+                let mut __rejected: u32 = 0;
+                for __case in 0..__config.cases {
+                    $( let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng); )+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err(__err) if __err.is_rejection() => {
+                            __rejected += 1;
+                        }
+                        ::std::result::Result::Err(__err) => panic!(
+                            "proptest '{}' failed at case {}/{}: {}",
+                            stringify!($name), __case + 1, __config.cases, __err
+                        ),
+                    }
+                }
+                // Mirror real proptest's rejection cap: a property whose
+                // assumption is (almost) never satisfiable must not report
+                // success having tested nothing.
+                if __rejected == __config.cases {
+                    panic!(
+                        "proptest '{}': all {} cases were rejected by prop_assume! \
+                         — the assumption is unsatisfiable under the strategies",
+                        stringify!($name), __config.cases
+                    );
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (with formatted context) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let __l = $left;
+        let __r = $right;
+        if __l != __r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {} == {} ({:?} != {:?})",
+                    stringify!($left), stringify!($right), __l, __r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = $left;
+        let __r = $right;
+        if __l != __r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {} == {} ({:?} != {:?}): {}",
+                    stringify!($left), stringify!($right), __l, __r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case when the assumption does not hold. Rejected cases
+/// are skipped (not re-drawn), but the runner panics if *every* case of a test
+/// was rejected, so an unsatisfiable assumption cannot masquerade as a pass.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption not met: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Chooses uniformly between strategies of the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($strategy),+])
+    };
+}

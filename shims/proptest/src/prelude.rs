@@ -1,0 +1,11 @@
+//! The commonly-imported names, mirroring `proptest::prelude::*`.
+
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+/// Namespace alias so `prop::collection::vec(..)` spells work.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}

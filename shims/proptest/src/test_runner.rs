@@ -1,0 +1,79 @@
+//! Test-runner configuration and failure plumbing.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the no-shrinking shim fast
+        // while still exploring a meaningful slice of the input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+    rejection: bool,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+            rejection: false,
+        }
+    }
+
+    /// A rejection (`prop_assume!` not satisfied): the case is skipped rather
+    /// than failed, but the runner tracks how many cases were rejected.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+            rejection: true,
+        }
+    }
+
+    /// Whether this error is a rejection rather than a failure.
+    pub fn is_rejection(&self) -> bool {
+        self.rejection
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The result type of a single property-test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Builds the deterministic per-test RNG (seeded from the test name with
+/// FNV-1a, so every test function explores a different but reproducible
+/// stream).
+pub fn deterministic_rng(test_name: &str) -> StdRng {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for byte in test_name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(hash)
+}

@@ -1,0 +1,207 @@
+//! Distributions: the [`Distribution`] trait, [`Standard`], [`Uniform`] and
+//! the range-sampling plumbing behind `Rng::gen_range`.
+
+use crate::Rng;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample using `rng`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: uniform in `[0, 1)` for floats,
+/// uniform over the whole value range for integers, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<u8> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform distribution over a half-open `[low, high)` interval.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+}
+
+impl<T: Copy> Uniform<T> {
+    /// Uniform over `[low, high)`.
+    pub fn new(low: T, high: T) -> Self {
+        Uniform { low, high }
+    }
+}
+
+impl Distribution<f64> for Uniform<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let unit: f64 = Standard.sample(rng);
+        self.low + unit * (self.high - self.low)
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Uniform<$t> {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                uniform::sample_int_range(rng, self.low as i128, self.high as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod uniform {
+    //! Range sampling used by `Rng::gen_range`.
+
+    use super::Standard;
+    use crate::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Uniformly samples an integer from `[low, high)` by rejection sampling
+    /// over the smallest power of two covering the span (no modulo bias, zero
+    /// rejections for power-of-two spans, a single 64-bit draw per attempt for
+    /// any span that fits in 64 bits — i.e. every range this workspace uses).
+    pub fn sample_int_range<R: Rng + ?Sized>(rng: &mut R, low: i128, high: i128) -> i128 {
+        assert!(low < high, "gen_range called with an empty range");
+        let span = (high - low) as u128;
+        // Mask with exactly enough bits to represent span - 1.
+        let mask = span
+            .checked_next_power_of_two()
+            .map_or(u128::MAX, |p| p - 1);
+        if span <= u64::MAX as u128 {
+            let mask = mask as u64;
+            loop {
+                let candidate = rng.next_u64() & mask;
+                if (candidate as u128) < span {
+                    return low + candidate as i128;
+                }
+            }
+        }
+        loop {
+            let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+            let candidate = wide & mask;
+            if candidate < span {
+                return low + candidate as i128;
+            }
+        }
+    }
+
+    /// A range that `Rng::gen_range` can sample from.
+    pub trait SampleRange<T> {
+        /// Draws one uniform sample from the range.
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! impl_sample_range_int {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    sample_int_range(rng, self.start as i128, self.end as i128) as $t
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    sample_int_range(rng, *self.start() as i128, *self.end() as i128 + 1) as $t
+                }
+            }
+        )*};
+    }
+    impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleRange<f64> for Range<f64> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(
+                self.start < self.end,
+                "gen_range called with an empty range"
+            );
+            let unit: f64 = super::Distribution::sample(&Standard, rng);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    impl SampleRange<f32> for Range<f32> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> f32 {
+            assert!(
+                self.start < self.end,
+                "gen_range called with an empty range"
+            );
+            let unit: f32 = super::Distribution::sample(&Standard, rng);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::sample_int_range;
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn int_ranges_cover_every_value_without_bias_holes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // Power-of-two and non-power-of-two spans, including span 9 (the case
+        // where an off-by-one mask would silently exclude the top value).
+        for span in [1i128, 2, 6, 8, 9, 17, 100] {
+            let mut seen = vec![false; span as usize];
+            for _ in 0..(span as usize * 200) {
+                let v = sample_int_range(&mut rng, 0, span);
+                assert!((0..span).contains(&v), "{v} outside [0, {span})");
+                seen[v as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "not all of [0, {span}) sampled");
+        }
+    }
+
+    #[test]
+    fn gen_range_handles_open_and_inclusive_ranges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let open = rng.gen_range(10usize..13);
+            assert!((10..13).contains(&open));
+            let inclusive = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&inclusive));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+}

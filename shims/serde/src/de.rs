@@ -1,0 +1,26 @@
+//! Deserialisation error type shared by the `serde` and `serde_json` shims.
+
+use std::fmt;
+
+/// A deserialisation (or serialisation) error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Error {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,11 @@
+//! Root crate of the InfiniteHBD reproduction workspace.
+//!
+//! This package exists to own the workspace-level integration tests
+//! (`tests/integration_*.rs`) and the walkthrough examples (`examples/`);
+//! all functionality lives in the crates under `crates/` and is re-exported
+//! through the [`infinitehbd`] umbrella crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use infinitehbd;

@@ -22,7 +22,10 @@ fn feasible_groups_complete_the_symbolic_binary_exchange() {
         let mut sim = BinaryExchangeSim::new(group);
         sim.run();
         assert!(sim.is_complete(), "group {group} incomplete");
-        assert_eq!(sim.rounds_executed(), AllToAllAlgorithm::BinaryExchange.rounds(group));
+        assert_eq!(
+            sim.rounds_executed(),
+            AllToAllAlgorithm::BinaryExchange.rounds(group)
+        );
     }
     // One size beyond the wiring's reach is rejected up front.
     assert!(!wiring.can_run_binary_exchange(NodeId(0), 128, &FaultSet::new()));
@@ -39,10 +42,16 @@ fn speedup_grows_with_group_size_for_large_blocks() {
     let mut previous = 0.0f64;
     for p in [8usize, 16, 32, 64] {
         let speedup = FastSwitchAllToAll::new(p).speedup_over_ring(block, &link);
-        assert!(speedup > previous, "speedup must grow with p: {speedup} at p={p}");
+        assert!(
+            speedup > previous,
+            "speedup must grow with p: {speedup} at p={p}"
+        );
         previous = speedup;
     }
-    assert!(previous > 5.0, "at p=64 the win should be large, got {previous}");
+    assert!(
+        previous > 5.0,
+        "at p=64 the win should be large, got {previous}"
+    );
 }
 
 /// Reconfiguration overhead matters exactly where the paper says it does: for

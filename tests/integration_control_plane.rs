@@ -69,7 +69,9 @@ fn single_fault_touches_a_bounded_neighbourhood_for_every_k() {
         let ring = KHopRing::new(240, 4, k).expect("valid ring");
         let mut manager =
             ClusterManager::new(ring, ControlLatencies::hardware_only()).expect("manager");
-        let report = manager.inject_fault(NodeId(120), Seconds(5.0)).expect("fault");
+        let report = manager
+            .inject_fault(NodeId(120), Seconds(5.0))
+            .expect("fault");
         assert!(
             report.nodes_reconfigured <= 2 * k,
             "K={k}: {} nodes reconfigured",
@@ -101,12 +103,21 @@ fn deployed_plan_matches_fabric_state() {
             let state = fabric.bundle_state(bundle).expect("bundle");
             let matches = matches!(
                 (action, state),
-                (BundleAction::ActivatePrimary, infinitehbd::ocstrx::BundleState::ActivePrimary)
-                    | (BundleAction::ActivateBackup, infinitehbd::ocstrx::BundleState::ActiveBackup)
-                    | (BundleAction::Loopback, infinitehbd::ocstrx::BundleState::Loopback)
-                    | (BundleAction::Idle, infinitehbd::ocstrx::BundleState::Idle)
+                (
+                    BundleAction::ActivatePrimary,
+                    infinitehbd::ocstrx::BundleState::ActivePrimary
+                ) | (
+                    BundleAction::ActivateBackup,
+                    infinitehbd::ocstrx::BundleState::ActiveBackup
+                ) | (
+                    BundleAction::Loopback,
+                    infinitehbd::ocstrx::BundleState::Loopback
+                ) | (BundleAction::Idle, infinitehbd::ocstrx::BundleState::Idle)
             );
-            assert!(matches, "node {n} bundle {bundle}: plan {action:?} vs hardware {state:?}");
+            assert!(
+                matches,
+                "node {n} bundle {bundle}: plan {action:?} vs hardware {state:?}"
+            );
         }
     }
 }

@@ -13,7 +13,11 @@ fn headline_cost_reductions_hold() {
     let k2 = ArchitectureBom::infinitehbd_k2().cost_per_gbyteps();
     let nvl72 = ArchitectureBom::nvl72().cost_per_gbyteps();
     let tpuv4 = ArchitectureBom::tpuv4().cost_per_gbyteps();
-    assert!((nvl72 / k2 - 3.24).abs() < 0.05, "vs NVL-72: {}", nvl72 / k2);
+    assert!(
+        (nvl72 / k2 - 3.24).abs() < 0.05,
+        "vs NVL-72: {}",
+        nvl72 / k2
+    );
     assert!((tpuv4 / k2 - 1.59).abs() < 0.05, "vs TPUv4: {}", tpuv4 / k2);
 }
 
@@ -40,8 +44,7 @@ fn aggregate_cost_ranks_infinitehbd_cheapest_across_fault_ratios() {
     let nodes = 720;
     let mut rng = StdRng::seed_from_u64(31);
     for ratio in [0.0, 0.05, 0.10, 0.20] {
-        let faults =
-            FaultSet::from_nodes(IidFaultModel::new(nodes, ratio).sample_exact(&mut rng));
+        let faults = FaultSet::from_nodes(IidFaultModel::new(nodes, ratio).sample_exact(&mut rng));
         // Compare architectures at an equal 800 GBps of per-GPU HBD bandwidth
         // (the paper's Fig 17d compares interconnects normalised per GBps;
         // otherwise TPUv4's 300 GBps fabric would look artificially cheap).
@@ -57,12 +60,24 @@ fn aggregate_cost_ranks_infinitehbd_cheapest_across_fault_ratios() {
         };
         let ring = KHopRing::new(nodes, 4, 2).unwrap();
         let infinite = cost(&ring, &ArchitectureBom::infinitehbd_k2());
-        let nvl = cost(&Nvl::new(nodes, 4, NvlVariant::Nvl72), &ArchitectureBom::nvl72());
-        let nvl576 = cost(&Nvl::new(nodes, 4, NvlVariant::Nvl576), &ArchitectureBom::nvl576());
+        let nvl = cost(
+            &Nvl::new(nodes, 4, NvlVariant::Nvl72),
+            &ArchitectureBom::nvl72(),
+        );
+        let nvl576 = cost(
+            &Nvl::new(nodes, 4, NvlVariant::Nvl576),
+            &ArchitectureBom::nvl576(),
+        );
         let tpu = cost(&TpuV4::new(nodes, 4), &ArchitectureBom::tpuv4());
-        assert!(infinite < nvl, "fault ratio {ratio}: {infinite} vs NVL {nvl}");
+        assert!(
+            infinite < nvl,
+            "fault ratio {ratio}: {infinite} vs NVL {nvl}"
+        );
         assert!(infinite < nvl576);
-        assert!(infinite < tpu, "fault ratio {ratio}: {infinite} vs TPUv4 {tpu}");
+        assert!(
+            infinite < tpu,
+            "fault ratio {ratio}: {infinite} vs TPUv4 {tpu}"
+        );
     }
 }
 
@@ -83,5 +98,7 @@ fn k2_is_cheaper_than_k3_at_low_fault_ratios() {
             interconnect_cost_per_gpu: bom.cost_per_gpu(),
         })
     };
-    assert!(cost(2, &ArchitectureBom::infinitehbd_k2()) <= cost(3, &ArchitectureBom::infinitehbd_k3()));
+    assert!(
+        cost(2, &ArchitectureBom::infinitehbd_k2()) <= cost(3, &ArchitectureBom::infinitehbd_k3())
+    );
 }

@@ -79,8 +79,7 @@ fn non_blocking_fabric_makes_placement_irrelevant_for_slowdown() {
     // shares its NIC between its two DP neighbours, hence a slowdown of ~2
     // regardless of placement). This is the ablation that justifies why the
     // paper evaluates on oversubscribed DCNs.
-    let network =
-        DcnNetwork::new(tree, NetworkParams::non_blocking(16, 4)).expect("network");
+    let network = DcnNetwork::new(tree, NetworkParams::non_blocking(16, 4)).expect("network");
     let spec = TrafficSpec::per_pair(Bytes::from_gib(2.0));
     let reports: Vec<_> = [&optimized, &baseline]
         .iter()
@@ -118,7 +117,9 @@ fn cross_tor_byte_fraction_tracks_the_orchestrator_metric() {
     let network =
         DcnNetwork::new(tree.clone(), NetworkParams::non_blocking(16, 4)).expect("network");
     let flows = dp_ring_flows(&optimized, &TrafficSpec::paper_dp_allreduce());
-    let report = FlowSimulation::run(&network, flows).expect("sim").report(&network);
+    let report = FlowSimulation::run(&network, flows)
+        .expect("sim")
+        .report(&network);
 
     // Every DP pair moves the same volume, so the flow-level cross-ToR byte
     // fraction must agree with the orchestrator's own pair-level accounting —

@@ -79,7 +79,7 @@ proptest! {
         let report = ring.utilization(&faults, tp);
         prop_assert!(report.usable_gpus + report.faulty_gpus + report.wasted_healthy_gpus == report.total_gpus);
         prop_assert!(report.waste_ratio() >= 0.0 && report.waste_ratio() <= 1.0);
-        prop_assert!(report.usable_gpus % tp == 0);
+        prop_assert!(report.usable_gpus.is_multiple_of(tp));
     }
 
     #[test]

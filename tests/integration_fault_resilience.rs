@@ -33,8 +33,14 @@ fn infinitehbd_waste_is_an_order_of_magnitude_below_nvl_and_tpuv4() {
     let nvl_waste = mean(&nvl);
     let tpu_waste = mean(&tpu);
     assert!(ring_waste < 0.01, "InfiniteHBD(K=3) waste {ring_waste}");
-    assert!(nvl_waste > 10.0 * ring_waste.max(1e-4), "NVL-72 waste {nvl_waste}");
-    assert!(tpu_waste > 5.0 * ring_waste.max(1e-4), "TPUv4 waste {tpu_waste}");
+    assert!(
+        nvl_waste > 10.0 * ring_waste.max(1e-4),
+        "NVL-72 waste {nvl_waste}"
+    );
+    assert!(
+        tpu_waste > 5.0 * ring_waste.max(1e-4),
+        "TPUv4 waste {tpu_waste}"
+    );
 }
 
 #[test]

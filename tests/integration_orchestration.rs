@@ -49,15 +49,18 @@ fn orchestration_is_insensitive_to_cluster_size() {
     for nodes in [512usize, 1024, 2048] {
         let (tree, orch) = setup(nodes);
         let mut rng = StdRng::seed_from_u64(5);
-        let faults =
-            FaultSet::from_nodes(IidFaultModel::new(nodes, 0.05).sample_exact(&mut rng));
+        let faults = FaultSet::from_nodes(IidFaultModel::new(nodes, 0.05).sample_exact(&mut rng));
         let request = OrchestrationRequest {
             job_nodes: nodes * 85 / 100,
             nodes_per_group: 8,
             k: 2,
         };
         let placement = orch.orchestrate(&request, &faults).unwrap();
-        rates.push(cross_tor_rate(&placement, &tree, &TrafficModel::paper_tp32()));
+        rates.push(cross_tor_rate(
+            &placement,
+            &tree,
+            &TrafficModel::paper_tp32(),
+        ));
     }
     for rate in &rates {
         assert!(*rate < 0.06, "rates {rates:?}");
@@ -82,8 +85,7 @@ fn cross_tor_traffic_degrades_gracefully_with_fault_ratio() {
     let mut prev: f64 = 0.0;
     for (i, ratio) in [0.01, 0.04, 0.08].into_iter().enumerate() {
         let mut rng = StdRng::seed_from_u64(100 + i as u64);
-        let faults =
-            FaultSet::from_nodes(IidFaultModel::new(1024, ratio).sample_exact(&mut rng));
+        let faults = FaultSet::from_nodes(IidFaultModel::new(1024, ratio).sample_exact(&mut rng));
         match orch.orchestrate(&request, &faults) {
             Ok(placement) => {
                 let rate = cross_tor_rate(&placement, &tree, &model);

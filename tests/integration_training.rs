@@ -43,7 +43,10 @@ fn table4_trend_ep_loses_to_tp_as_imbalance_grows() {
         sim.imbalance = infinitehbd::llmsim::ExpertImbalance::new(coefficient);
         let ep_mfu = sim.estimate(&model, &ep).unwrap().mfu;
         let tp_mfu = sim.estimate(&model, &tp).unwrap().mfu;
-        assert!(ep_mfu <= previous + 1e-12, "EP MFU should fall with imbalance");
+        assert!(
+            ep_mfu <= previous + 1e-12,
+            "EP MFU should fall with imbalance"
+        );
         previous = ep_mfu;
         if coefficient >= 0.2 {
             assert!(
