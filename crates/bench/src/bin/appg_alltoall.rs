@@ -1,46 +1,6 @@
-//! Appendix G: AllToAll on InfiniteHBD — volume and time of the naive ring
-//! exchange versus Binary Exchange (with the OCSTrx fast-switch overhead),
-//! plus the standard Bruck/pairwise baselines for context.
-
-use bench::{emit, fmt, HarnessArgs};
-use infinitehbd::prelude::*;
+//! Thin wrapper: runs the registered `appg_alltoall` experiment
+//! (see `bench::experiments::appg_alltoall`).
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let link = AlphaBeta::hbd_default();
-    let block = Bytes(4e6);
-    let reconfig = Seconds(70e-6);
-    let header = [
-        "group p",
-        "algorithm",
-        "rounds",
-        "MB/rank",
-        "time (ms)",
-        "runnable on InfiniteHBD",
-    ];
-    let mut rows = Vec::new();
-    for p in [8usize, 16, 64, 256, 1024] {
-        for algo in AllToAllAlgorithm::ALL {
-            let overhead = if algo == AllToAllAlgorithm::BinaryExchange {
-                reconfig
-            } else {
-                Seconds::ZERO
-            };
-            let cost = algo.cost(p, block, &link, overhead);
-            rows.push(vec![
-                p.to_string(),
-                algo.name().to_string(),
-                cost.cost.steps.to_string(),
-                fmt(cost.cost.bytes_per_rank.value() / 1e6, 1),
-                fmt(cost.cost.time.value() * 1e3, 3),
-                algo.supported_by_infinitehbd().to_string(),
-            ]);
-        }
-    }
-    emit(
-        &args,
-        "Appendix G: AllToAll algorithm comparison",
-        &header,
-        &rows,
-    );
+    bench::run_cli("appg_alltoall");
 }

@@ -1,0 +1,251 @@
+//! The evaluation driver: runs every registered experiment in-process,
+//! regenerates `EXPERIMENTS.md` and writes a machine-readable
+//! `bench_results.json` (per-experiment wall-clock included) for trend
+//! tracking.
+//!
+//! ```text
+//! cargo run --release --bin experiments -- --threads 4
+//! cargo run --release --bin experiments -- --scale 0.05 --md EXPERIMENTS.smoke.md --out smoke.json
+//! cargo run --release --bin experiments -- --only fig17 --json
+//! cargo run --release --bin experiments -- --list
+//! ```
+//!
+//! With `--only <substring>` the run is a partial preview: results go to
+//! stdout only and no files are written (a partial `EXPERIMENTS.md` would
+//! masquerade as the full evaluation).
+
+use bench::registry::{self, RunCtx};
+use bench::{HarnessArgs, Table, USAGE};
+use std::time::Instant;
+
+const DRIVER_USAGE: &str = "usage: experiments [--seed <u64>] [--threads <n>] [--scale <f64>] \
+     [--json] [--only <substring>] [--md <path>] [--out <path>] [--list]";
+
+struct DriverArgs {
+    common: HarnessArgs,
+    only: Option<String>,
+    md_path: String,
+    out_path: String,
+    list: bool,
+}
+
+fn parse_driver_args() -> DriverArgs {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (common, leftover) = match HarnessArgs::try_parse(&argv) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("error: {message}\n{USAGE}\n{DRIVER_USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let mut driver = DriverArgs {
+        common,
+        only: None,
+        md_path: "EXPERIMENTS.md".to_string(),
+        out_path: "bench_results.json".to_string(),
+        list: false,
+    };
+    let mut i = 0;
+    while i < leftover.len() {
+        match leftover[i].as_str() {
+            "--only" => {
+                driver.only = Some(require_value(&leftover, &mut i, "--only"));
+            }
+            "--md" => {
+                driver.md_path = require_value(&leftover, &mut i, "--md");
+            }
+            "--out" => {
+                driver.out_path = require_value(&leftover, &mut i, "--out");
+            }
+            "--list" => driver.list = true,
+            other => {
+                eprintln!("error: unknown argument '{other}'\n{DRIVER_USAGE}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    driver
+}
+
+fn require_value(argv: &[String], i: &mut usize, flag: &str) -> String {
+    match argv.get(*i + 1) {
+        Some(value) => {
+            *i += 1;
+            value.clone()
+        }
+        None => {
+            eprintln!("error: {flag} requires a value\n{DRIVER_USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+struct ExperimentRun {
+    name: &'static str,
+    group: &'static str,
+    summary: &'static str,
+    wall_ms: f64,
+    tables: Vec<Table>,
+}
+
+fn main() {
+    let args = parse_driver_args();
+    if args.list {
+        for experiment in registry::all() {
+            println!(
+                "{:28} {:22} {}",
+                experiment.name, experiment.group, experiment.summary
+            );
+        }
+        return;
+    }
+
+    let ctx = RunCtx::from_args(&args.common);
+    let selected: Vec<_> = registry::all()
+        .iter()
+        .filter(|e| {
+            args.only
+                .as_deref()
+                .map(|needle| e.name.contains(needle))
+                .unwrap_or(true)
+        })
+        .collect();
+    if selected.is_empty() {
+        eprintln!(
+            "error: --only '{}' matches no experiment (try --list)",
+            args.only.as_deref().unwrap_or("")
+        );
+        std::process::exit(2);
+    }
+
+    let total_start = Instant::now();
+    let mut runs: Vec<ExperimentRun> = Vec::with_capacity(selected.len());
+    for experiment in &selected {
+        let start = Instant::now();
+        let tables = (experiment.run)(&ctx);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        eprintln!(
+            "ran {:28} {:>9.1} ms  ({} table{})",
+            experiment.name,
+            wall_ms,
+            tables.len(),
+            if tables.len() == 1 { "" } else { "s" }
+        );
+        runs.push(ExperimentRun {
+            name: experiment.name,
+            group: experiment.group,
+            summary: experiment.summary,
+            wall_ms,
+            tables,
+        });
+    }
+    let total_ms = total_start.elapsed().as_secs_f64() * 1e3;
+
+    if args.common.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&collate_json(&ctx, &runs)).expect("serialisable")
+        );
+    }
+
+    if args.only.is_some() {
+        if !args.common.json {
+            for run in &runs {
+                for table in &run.tables {
+                    table.print_text();
+                }
+            }
+        }
+        eprintln!("partial run (--only): EXPERIMENTS.md / bench_results.json not written");
+        return;
+    }
+
+    std::fs::write(&args.md_path, render_markdown(&ctx, &runs))
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.md_path));
+    std::fs::write(
+        &args.out_path,
+        format!(
+            "{}\n",
+            serde_json::to_string_pretty(&collate_json(&ctx, &runs)).expect("serialisable")
+        ),
+    )
+    .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out_path));
+    eprintln!(
+        "wrote {} and {} ({} experiments, {:.1} s total)",
+        args.md_path,
+        args.out_path,
+        runs.len(),
+        total_ms / 1e3
+    );
+}
+
+/// The machine-readable collation (`bench_results.json`): run parameters,
+/// per-experiment wall-clock, and every table.
+fn collate_json(ctx: &RunCtx, runs: &[ExperimentRun]) -> serde_json::Value {
+    let experiments: Vec<serde_json::Value> = runs
+        .iter()
+        .map(|run| {
+            let tables: Vec<serde_json::Value> = run.tables.iter().map(Table::to_json).collect();
+            serde_json::json!({
+                "name": run.name,
+                "group": run.group,
+                "summary": run.summary,
+                "wall_ms": run.wall_ms,
+                "tables": tables,
+            })
+        })
+        .collect();
+    serde_json::json!({
+        "seed": ctx.seed,
+        "scale": ctx.scale,
+        "threads": ctx.threads,
+        "experiments": experiments,
+    })
+}
+
+/// The regenerated `EXPERIMENTS.md`. Deliberately free of wall-clock numbers
+/// so that re-running with the same seed/scale reproduces the file
+/// byte-for-byte.
+fn render_markdown(ctx: &RunCtx, runs: &[ExperimentRun]) -> String {
+    let mut out = String::new();
+    out.push_str("# EXPERIMENTS\n\n");
+    out.push_str(
+        "Every table and figure of the paper's evaluation, regenerated mechanically by the\n\
+         experiment registry (`crates/bench/src/registry.rs`). Do not edit by hand — refresh with:\n\n\
+         ```bash\ncargo run --release --bin experiments -- --threads <N>\n```\n\n",
+    );
+    out.push_str(&format!(
+        "Parameters of this run: seed `{}`, scale `{}`, {} experiments. Per-experiment\n\
+         wall-clock times and the same tables in machine-readable form are written to\n\
+         `bench_results.json` alongside this file.\n\n",
+        ctx.seed,
+        ctx.scale,
+        runs.len()
+    ));
+
+    out.push_str("## Index\n\n| experiment | group | summary |\n| --- | --- | --- |\n");
+    for run in runs {
+        out.push_str(&format!(
+            "| [`{name}`](#{name}) | {} | {} |\n",
+            run.group,
+            run.summary,
+            name = run.name
+        ));
+    }
+    out.push('\n');
+
+    let mut current_group = "";
+    for run in runs {
+        if run.group != current_group {
+            current_group = run.group;
+            out.push_str(&format!("## {current_group}\n\n"));
+        }
+        out.push_str(&format!("### {}\n\n{}\n\n", run.name, run.summary));
+        for table in &run.tables {
+            out.push_str(&table.to_markdown());
+            out.push('\n');
+        }
+    }
+    out
+}

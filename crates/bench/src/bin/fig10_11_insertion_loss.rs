@@ -1,55 +1,6 @@
-//! Figs 10a and 11: insertion-loss statistics and distribution of the OCSTrx
-//! core module across ambient temperatures.
-
-use bench::{emit, fmt, HarnessArgs};
-use infinitehbd::ocstrx::InsertionLossModel;
+//! Thin wrapper: runs the registered `fig10_11_insertion_loss` experiment
+//! (see `bench::experiments::fig10_11_insertion_loss`).
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let mut rng = args.rng();
-    let model = InsertionLossModel::paper_calibrated();
-    let header = [
-        "temp (C)",
-        "avg loss (dB)",
-        "min (dB)",
-        "max (dB)",
-        "units sampled",
-    ];
-    let mut rows = Vec::new();
-    for temp in [0.0, 25.0, 50.0, 85.0] {
-        let samples = model.sample_population(temp, 400, &mut rng);
-        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = samples.iter().cloned().fold(0.0, f64::max);
-        rows.push(vec![
-            fmt(temp, 0),
-            fmt(mean, 2),
-            fmt(min, 2),
-            fmt(max, 2),
-            samples.len().to_string(),
-        ]);
-    }
-    emit(
-        &args,
-        "Fig 10a/11: OCSTrx insertion loss vs temperature",
-        &header,
-        &rows,
-    );
-
-    // Histogram for the Fig-11 distributions at 25C.
-    let samples = model.sample_population(25.0, 400, &mut rng);
-    let header = ["bin (dB)", "count"];
-    let mut rows = Vec::new();
-    for bin in 0..8 {
-        let lo = 2.0 + bin as f64 * 0.25;
-        let hi = lo + 0.25;
-        let count = samples.iter().filter(|&&s| s >= lo && s < hi).count();
-        rows.push(vec![format!("{lo:.2}-{hi:.2}"), count.to_string()]);
-    }
-    emit(
-        &args,
-        "Fig 11b: insertion-loss distribution at 25C",
-        &header,
-        &rows,
-    );
+    bench::run_cli("fig10_11_insertion_loss");
 }

@@ -1,40 +1,6 @@
-//! Fig 12: bit-error rate of the OCSTrx under varying optical modulation
-//! amplitude and ambient temperature.
-
-use bench::{emit, HarnessArgs};
-use infinitehbd::ocstrx::optics::OmaSweep;
-use infinitehbd::ocstrx::{BerModel, OpticalConditions};
+//! Thin wrapper: runs the registered `fig12_ber` experiment
+//! (see `bench::experiments::fig12_ber`).
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let mut rng = args.rng();
-    let model = BerModel::paper_calibrated();
-    let sweep = OmaSweep::paper_sweep();
-    let header = ["OMA (mW)", "-5C", "25C", "50C", "75C"];
-    let mut rows = Vec::new();
-    for oma in sweep.values() {
-        let mut row = vec![format!("{oma:.2}")];
-        for temp in [-5.0, 25.0, 50.0, 75.0] {
-            let ber = model.measure(
-                OpticalConditions {
-                    temperature_c: temp,
-                    oma_mw: oma,
-                },
-                10_000_000_000,
-                &mut rng,
-            );
-            row.push(if ber == 0.0 {
-                "0".to_string()
-            } else {
-                format!("{ber:.1e}")
-            });
-        }
-        rows.push(row);
-    }
-    emit(
-        &args,
-        "Fig 12: OCSTrx BER vs OMA and temperature",
-        &header,
-        &rows,
-    );
+    bench::run_cli("fig12_ber");
 }

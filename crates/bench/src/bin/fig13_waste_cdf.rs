@@ -1,42 +1,6 @@
-//! Figs 13 and 21: CDF of the GPU waste ratio of every architecture over the
-//! production-calibrated fault trace (2,880 GPUs, 4-GPU nodes), for TP-8/16/32/64.
-
-use bench::{emit, fmt, HarnessArgs};
-use infinitehbd::cluster::waste::waste_cdf;
-use infinitehbd::prelude::*;
+//! Thin wrapper: runs the registered `fig13_waste_cdf` experiment
+//! (see `bench::experiments::fig13_waste_cdf`).
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let config = ClusterConfig::paper_2880_gpu();
-    for tp in [8usize, 16, 32, 64] {
-        let study = ClusterStudy::new(config.clone(), tp, Seconds::from_days(348.0), args.seed)
-            .expect("valid study");
-        let header = [
-            "architecture",
-            "p50 waste (%)",
-            "p90 waste (%)",
-            "p99 waste (%)",
-            "mean (%)",
-        ];
-        let mut rows = Vec::new();
-        for arch in paper_architectures(config.nodes, config.node_size.gpus(), tp) {
-            let points = waste_over_trace(arch.as_ref(), study.trace(), tp, 348);
-            let cdf = waste_cdf(&points);
-            let pick = |q: f64| cdf[(q * (cdf.len() - 1) as f64) as usize].0;
-            let mean = points.iter().map(|p| p.waste_ratio).sum::<f64>() / points.len() as f64;
-            rows.push(vec![
-                arch.name().to_string(),
-                fmt(pick(0.50) * 100.0, 2),
-                fmt(pick(0.90) * 100.0, 2),
-                fmt(pick(0.99) * 100.0, 2),
-                fmt(mean * 100.0, 2),
-            ]);
-        }
-        emit(
-            &args,
-            &format!("Fig 13/21: GPU waste ratio CDF summary, TP-{tp}"),
-            &header,
-            &rows,
-        );
-    }
+    bench::run_cli("fig13_waste_cdf");
 }

@@ -1,37 +1,6 @@
-//! Figs 14 and 22: GPU waste ratio versus node fault ratio (i.i.d. fault
-//! model), for TP-8/16/32/64 on the 2,880-GPU / 4-GPU-node cluster.
-
-use bench::{emit, fmt, HarnessArgs};
-use infinitehbd::prelude::*;
+//! Thin wrapper: runs the registered `fig14_waste_vs_fault` experiment
+//! (see `bench::experiments::fig14_waste_vs_fault`).
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let nodes = 720;
-    let ratios = [0.0, 0.02, 0.04, 0.06, 0.08, 0.10, 0.12];
-    for tp in [8usize, 16, 32, 64] {
-        let mut rng = args.rng();
-        let archs = paper_architectures(nodes, 4, tp);
-        let mut header: Vec<String> = vec!["fault ratio (%)".to_string()];
-        header.extend(archs.iter().map(|a| a.name().to_string()));
-        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-        let mut columns: Vec<Vec<f64>> = Vec::new();
-        for arch in &archs {
-            let points = waste_vs_fault_ratio(arch.as_ref(), tp, &ratios, 10, &mut rng);
-            columns.push(points.iter().map(|p| p.waste_ratio).collect());
-        }
-        let mut rows = Vec::new();
-        for (i, ratio) in ratios.iter().enumerate() {
-            let mut row = vec![fmt(ratio * 100.0, 0)];
-            for column in &columns {
-                row.push(fmt(column[i] * 100.0, 2));
-            }
-            rows.push(row);
-        }
-        emit(
-            &args,
-            &format!("Fig 14/22: waste ratio (%) vs node fault ratio, TP-{tp}"),
-            &header_refs,
-            &rows,
-        );
-    }
+    bench::run_cli("fig14_waste_vs_fault");
 }

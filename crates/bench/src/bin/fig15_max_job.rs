@@ -1,37 +1,6 @@
-//! Fig 15: maximal job scale supported by the 2,880-GPU cluster over the fault
-//! trace, for TP-8/16/32/64.
-
-use bench::{emit, HarnessArgs};
-use infinitehbd::cluster::max_job_over_trace;
-use infinitehbd::prelude::*;
+//! Thin wrapper: runs the registered `fig15_max_job` experiment
+//! (see `bench::experiments::fig15_max_job`).
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let config = ClusterConfig::paper_2880_gpu();
-    let mut header: Vec<String> = vec!["architecture".to_string()];
-    header.extend(
-        ["TP8", "TP16", "TP32", "TP64"]
-            .iter()
-            .map(|s| s.to_string()),
-    );
-    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    let arch_names: Vec<String> = paper_architectures(config.nodes, 4, 32)
-        .iter()
-        .map(|a| a.name().to_string())
-        .collect();
-    let mut table: Vec<Vec<String>> = arch_names.iter().map(|n| vec![n.clone()]).collect();
-    for tp in [8usize, 16, 32, 64] {
-        let study = ClusterStudy::new(config.clone(), tp, Seconds::from_days(348.0), args.seed)
-            .expect("valid study");
-        for (i, arch) in paper_architectures(config.nodes, 4, tp).iter().enumerate() {
-            let job = max_job_over_trace(arch.as_ref(), study.trace(), tp, 348);
-            table[i].push(job.to_string());
-        }
-    }
-    emit(
-        &args,
-        "Fig 15: maximal job scale (GPUs) supported by 2,880 GPUs",
-        &header_refs,
-        &table,
-    );
+    bench::run_cli("fig15_max_job");
 }

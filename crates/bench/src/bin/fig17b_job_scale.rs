@@ -1,41 +1,6 @@
-//! Fig 17b: cross-ToR traffic rate versus job-scale ratio on the 8,192-GPU
-//! cluster with 5% node faults.
-
-use bench::{emit, fmt, HarnessArgs};
-use infinitehbd::prelude::*;
+//! Thin wrapper: runs the registered `fig17b_job_scale` experiment
+//! (see `bench::experiments::fig17b_job_scale`).
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let config = ClusterConfig::paper_8192_gpu();
-    let tree = FatTree::from_config(&config).expect("valid fat-tree");
-    let orch = FatTreeOrchestrator::new(tree.clone()).expect("valid orchestrator");
-    let model = TrafficModel::paper_tp32();
-    let header = ["job-scale ratio (%)", "baseline (%)", "optimized (%)"];
-    let mut rows = Vec::new();
-    for scale in [70usize, 75, 80, 85, 90] {
-        let mut rng = args.rng();
-        let faults =
-            FaultSet::from_nodes(IidFaultModel::new(config.nodes, 0.05).sample_exact(&mut rng));
-        let request = OrchestrationRequest {
-            job_nodes: config.nodes * scale / 100 / 8 * 8,
-            nodes_per_group: 8,
-            k: 2,
-        };
-        let baseline = greedy_placement(config.nodes, &faults, 8, request.job_nodes, &mut rng);
-        let optimized = match orch.orchestrate(&request, &faults) {
-            Ok(p) => fmt(cross_tor_rate(&p, &tree, &model) * 100.0, 2),
-            Err(_) => "wait".to_string(),
-        };
-        rows.push(vec![
-            scale.to_string(),
-            fmt(cross_tor_rate(&baseline, &tree, &model) * 100.0, 2),
-            optimized,
-        ]);
-    }
-    emit(
-        &args,
-        "Fig 17b: cross-ToR rate vs job-scale ratio (8,192 GPUs, 5% faults)",
-        &header,
-        &rows,
-    );
+    bench::run_cli("fig17b_job_scale");
 }

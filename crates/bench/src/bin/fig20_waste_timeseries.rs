@@ -1,41 +1,6 @@
-//! Fig 20: GPU waste ratio over time (trace replay) for every architecture,
-//! TP-32 on the 2,880-GPU / 4-GPU-node cluster.
-
-use bench::{emit, fmt, HarnessArgs};
-use infinitehbd::prelude::*;
+//! Thin wrapper: runs the registered `fig20_waste_timeseries` experiment
+//! (see `bench::experiments::fig20_waste_timeseries`).
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let config = ClusterConfig::paper_2880_gpu();
-    let tp = 32;
-    let study = ClusterStudy::new(config.clone(), tp, Seconds::from_days(348.0), args.seed)
-        .expect("valid study");
-    let archs = paper_architectures(config.nodes, config.node_size.gpus(), tp);
-    let series: Vec<(String, Vec<f64>)> = archs
-        .iter()
-        .map(|arch| {
-            let points = waste_over_trace(arch.as_ref(), study.trace(), tp, 58);
-            (
-                arch.name().to_string(),
-                points.iter().map(|p| p.waste_ratio).collect(),
-            )
-        })
-        .collect();
-    let mut header: Vec<&str> = vec!["day"];
-    let names: Vec<String> = series.iter().map(|(n, _)| n.clone()).collect();
-    header.extend(names.iter().map(|s| s.as_str()));
-    let mut rows = Vec::new();
-    for i in 0..58 {
-        let mut row = vec![format!("{}", i * 6)];
-        for (_, values) in &series {
-            row.push(fmt(values[i] * 100.0, 2));
-        }
-        rows.push(row);
-    }
-    emit(
-        &args,
-        "Fig 20: waste ratio (%) over the trace, TP-32",
-        &header,
-        &rows,
-    );
+    bench::run_cli("fig20_waste_timeseries");
 }

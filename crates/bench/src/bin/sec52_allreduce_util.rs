@@ -1,35 +1,6 @@
-//! §5.2: large-message Ring-AllReduce bandwidth utilisation of the 16- and
-//! 32-GPU prototype rings versus the NVLink-switched 8-GPU node.
-
-use bench::{emit, fmt, HarnessArgs};
-use infinitehbd::prelude::*;
+//! Thin wrapper: runs the registered `sec52_allreduce_util` experiment
+//! (see `bench::experiments::sec52_allreduce_util`).
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let model = RingUtilization::paper_calibrated();
-    let header = ["configuration", "bandwidth utilisation (%)"];
-    let rows = vec![
-        vec![
-            "16-GPU ring".to_string(),
-            fmt(model.ring_utilization(16) * 100.0, 2),
-        ],
-        vec![
-            "32-GPU ring".to_string(),
-            fmt(model.ring_utilization(32) * 100.0, 2),
-        ],
-        vec![
-            "8-GPU NVLink switch (no SHARP)".to_string(),
-            fmt(model.switch_utilization() * 100.0, 2),
-        ],
-        vec![
-            "small-packet latency reduction (direct links)".to_string(),
-            fmt(model.direct_link_latency_reduction() * 100.0, 0),
-        ],
-    ];
-    emit(
-        &args,
-        "Sec 5.2: AllReduce bandwidth utilisation",
-        &header,
-        &rows,
-    );
+    bench::run_cli("sec52_allreduce_util");
 }

@@ -1,34 +1,6 @@
-//! Table 2: optimal parallelism strategy and MFU for Llama 3.1-405B as the
-//! cluster grows, against the TP-8-capped baseline.
-
-use bench::{emit, fmt, HarnessArgs};
-use infinitehbd::prelude::*;
+//! Thin wrapper: runs the registered `table2_llama_mfu` experiment
+//! (see `bench::experiments::table2_llama_mfu`).
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let search = StrategySearch::paper_defaults();
-    let model = ModelConfig::llama31_405b();
-    let header = ["GPUs", "TP", "PP", "DP", "MFU", "MFU_TP-8", "Improve"];
-    let mut rows = Vec::new();
-    for gpus in [1024usize, 4096, 8192, 16384, 32768, 65536, 131072] {
-        let free = search.optimal(&model, gpus).expect("feasible strategy");
-        let capped = search
-            .optimal_with_tp_cap(&model, gpus, 8)
-            .expect("feasible TP-8 strategy");
-        rows.push(vec![
-            gpus.to_string(),
-            free.strategy.tp.to_string(),
-            free.strategy.pp.to_string(),
-            free.strategy.dp.to_string(),
-            fmt(free.mfu, 4),
-            fmt(capped.mfu, 4),
-            fmt(free.mfu / capped.mfu, 4),
-        ]);
-    }
-    emit(
-        &args,
-        "Table 2: Llama 3.1-405B optimal parallelism vs TP-8",
-        &header,
-        &rows,
-    );
+    bench::run_cli("table2_llama_mfu");
 }

@@ -1,32 +1,6 @@
-//! Table 4: MFU of TP-sharded vs EP-routed experts for GPT-MoE under growing
-//! expert-imbalance coefficients.
-
-use bench::{emit, fmt, HarnessArgs};
-use infinitehbd::llmsim::ExpertImbalance;
-use infinitehbd::prelude::*;
+//! Thin wrapper: runs the registered `table4_tp_vs_ep` experiment
+//! (see `bench::experiments::table4_tp_vs_ep`).
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let model = ModelConfig::gpt_moe_1t();
-    let mut sim = TrainingSimulator::paper_defaults();
-    let tp_strategy = ParallelismStrategy::new(16, 8, 8);
-    let ep_strategy = ParallelismStrategy::new(8, 8, 16).with_ep(8);
-    let header = ["imbalance coef", "TP MFU (%)", "EP MFU (%)"];
-    let mut rows = Vec::new();
-    for coefficient in [0.0, 0.1, 0.2, 0.3] {
-        sim.imbalance = ExpertImbalance::new(coefficient);
-        let tp = sim.estimate(&model, &tp_strategy).expect("TP fits").mfu;
-        let ep = sim.estimate(&model, &ep_strategy).expect("EP fits").mfu;
-        rows.push(vec![
-            fmt(coefficient * 100.0, 0) + "%",
-            fmt(tp * 100.0, 1),
-            fmt(ep * 100.0, 1),
-        ]);
-    }
-    emit(
-        &args,
-        "Table 4: TP vs EP for GPT-MoE under expert imbalance (1,024 GPUs)",
-        &header,
-        &rows,
-    );
+    bench::run_cli("table4_tp_vs_ep");
 }

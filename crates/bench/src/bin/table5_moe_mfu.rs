@@ -1,30 +1,6 @@
-//! Table 5: optimal parallelism strategy and MFU for GPT-MoE (1.1T) as the
-//! cluster grows, with the production 20% expert-imbalance coefficient.
-
-use bench::{emit, fmt, HarnessArgs};
-use infinitehbd::prelude::*;
+//! Thin wrapper: runs the registered `table5_moe_mfu` experiment
+//! (see `bench::experiments::table5_moe_mfu`).
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let search = StrategySearch::paper_defaults();
-    let model = ModelConfig::gpt_moe_1t();
-    let header = ["GPUs", "TP", "DP", "PP", "EP", "MFU"];
-    let mut rows = Vec::new();
-    for gpus in [1024usize, 2048, 4096, 8192, 16384] {
-        let best = search.optimal(&model, gpus).expect("feasible strategy");
-        rows.push(vec![
-            gpus.to_string(),
-            best.strategy.tp.to_string(),
-            best.strategy.dp.to_string(),
-            best.strategy.pp.to_string(),
-            best.strategy.ep.to_string(),
-            fmt(best.mfu, 4),
-        ]);
-    }
-    emit(
-        &args,
-        "Table 5: GPT-MoE optimal parallelism (20% expert imbalance)",
-        &header,
-        &rows,
-    );
+    bench::run_cli("table5_moe_mfu");
 }

@@ -1,27 +1,6 @@
-//! Table 6: interconnect cost and power per GPU and per GBps.
-
-use bench::{emit, fmt, HarnessArgs};
-use infinitehbd::prelude::*;
+//! Thin wrapper: runs the registered `table6_cost_power` experiment
+//! (see `bench::experiments::table6_cost_power`).
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let header = ["architecture", "$/GPU", "W/GPU", "$/GBps", "W/GBps"];
-    let rows: Vec<Vec<String>> = NormalizedCost::table6()
-        .into_iter()
-        .map(|row| {
-            vec![
-                row.name,
-                fmt(row.cost_per_gpu, 2),
-                fmt(row.watts_per_gpu, 2),
-                fmt(row.cost_per_gbyteps, 2),
-                fmt(row.watts_per_gbyteps, 3),
-            ]
-        })
-        .collect();
-    emit(
-        &args,
-        "Table 6: interconnect cost and power",
-        &header,
-        &rows,
-    );
+    bench::run_cli("table6_cost_power");
 }

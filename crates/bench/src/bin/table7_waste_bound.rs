@@ -1,31 +1,6 @@
-//! Table 7 (Appendix C): closed-form upper bound on InfiniteHBD's expected GPU
-//! waste ratio for a TP-32 job, by node size R and hop count K.
-
-use bench::{emit, fmt, HarnessArgs};
-use infinitehbd::cluster::theory::{paper_node_failure_probability, WasteBoundInput};
-use infinitehbd::cluster::waste_ratio_upper_bound;
+//! Thin wrapper: runs the registered `table7_waste_bound` experiment
+//! (see `bench::experiments::table7_waste_bound`).
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let header = ["R", "K=2", "K=3", "K=4"];
-    let mut rows = Vec::new();
-    for r in [4usize, 8] {
-        let mut row = vec![r.to_string()];
-        for k in [2u32, 3, 4] {
-            let bound = waste_ratio_upper_bound(&WasteBoundInput {
-                gpus_per_node: r,
-                k,
-                tp_size: 32,
-                node_failure_probability: paper_node_failure_probability(r),
-            });
-            row.push(format!("{}%", fmt(bound * 100.0, 4)));
-        }
-        rows.push(row);
-    }
-    emit(
-        &args,
-        "Table 7: waste-ratio upper bound (TP-32)",
-        &header,
-        &rows,
-    );
+    bench::run_cli("table7_waste_bound");
 }

@@ -1,49 +1,6 @@
-//! Table 8 (Appendix F): component-level bill of materials of every
-//! architecture's reference deployment.
-
-use bench::{emit, fmt, HarnessArgs};
-use infinitehbd::cost::ArchitectureBom;
+//! Thin wrapper: runs the registered `table8_bom` experiment
+//! (see `bench::experiments::table8_bom`).
 
 fn main() {
-    let args = HarnessArgs::parse();
-    let header = [
-        "architecture",
-        "component",
-        "quantity",
-        "unit $",
-        "unit W",
-        "line $",
-        "line W",
-    ];
-    let mut rows = Vec::new();
-    let mut boms = ArchitectureBom::table6_rows();
-    boms.push(ArchitectureBom::alibaba_hpn());
-    for bom in boms {
-        for line in &bom.lines {
-            rows.push(vec![
-                bom.name.clone(),
-                format!("{:?}", line.component.kind),
-                line.quantity.to_string(),
-                fmt(line.component.unit_cost.value(), 2),
-                fmt(line.component.unit_power.value(), 2),
-                fmt(line.cost().value(), 2),
-                fmt(line.power().value(), 1),
-            ]);
-        }
-        rows.push(vec![
-            bom.name.clone(),
-            "TOTAL".to_string(),
-            bom.gpus.to_string(),
-            String::new(),
-            String::new(),
-            fmt(bom.total_cost().value(), 2),
-            fmt(bom.total_power().value(), 1),
-        ]);
-    }
-    emit(
-        &args,
-        "Table 8: per-architecture bill of materials",
-        &header,
-        &rows,
-    );
+    bench::run_cli("table8_bom");
 }

@@ -1,0 +1,66 @@
+//! Appendix G (extended): Binary Exchange AllToAll with OCSTrx fast switching
+//! versus the O(p²) ring fallback, with the reconfiguration latency exposed or
+//! overlapped with expert computation.
+//!
+//! Complements the `appg_alltoall` harness (pure volume/complexity comparison)
+//! with wall-clock estimates that include the 60–80 µs path switches, plus the
+//! Appendix-G.3 feasibility limits of the ±2^i Binary-Hop wiring.
+
+use crate::registry::RunCtx;
+use crate::{fmt, Table};
+use infinitehbd::collective::FastSwitchAllToAll;
+use infinitehbd::prelude::*;
+
+pub fn run(_ctx: &RunCtx) -> Vec<Table> {
+    let link = AlphaBeta::hbd_default();
+    let block = Bytes::from_mb(24.0);
+
+    let header = [
+        "EP size",
+        "rounds",
+        "reconfigs",
+        "ring (ms)",
+        "binexch exposed (ms)",
+        "binexch overlapped (ms)",
+        "speedup",
+    ];
+    let mut rows = Vec::new();
+    for p in [4usize, 8, 16, 32, 64, 128] {
+        let schedule = FastSwitchAllToAll::new(p);
+        let exposed = schedule.cost(block, &link);
+        let overlapped = schedule.overlapped(Seconds(200e-6)).cost(block, &link);
+        let ring = schedule.ring_fallback(block, &link);
+        rows.push(vec![
+            p.to_string(),
+            exposed.rounds.to_string(),
+            exposed.reconfigurations.to_string(),
+            fmt(ring.value() * 1e3, 3),
+            fmt(exposed.total().value() * 1e3, 3),
+            fmt(overlapped.total().value() * 1e3, 3),
+            fmt(ring.value() / overlapped.total().value(), 2),
+        ]);
+    }
+    let mut tables = vec![Table::new(
+        "Appendix G (ext): fast-switched Binary Exchange vs ring AllToAll, 24 MiB blocks",
+        &header,
+        rows,
+    )];
+
+    // Feasibility limits of the Binary-Hop wiring (Appendix G.3).
+    let header = ["node size", "max EP group (nodes)", "TP x EP limit"];
+    let mut rows = Vec::new();
+    for (gpus, k) in [(4usize, 4usize), (8, 8)] {
+        let wiring = BinaryHopRing::new(4096, gpus, k).expect("valid wiring");
+        rows.push(vec![
+            format!("{gpus}-GPU"),
+            wiring.max_ep_group_nodes().to_string(),
+            wiring.tp_ep_product_limit().to_string(),
+        ]);
+    }
+    tables.push(Table::new(
+        "Appendix G.3: TP x EP coupling constraint of the Binary-Hop wiring",
+        &header,
+        rows,
+    ));
+    tables
+}

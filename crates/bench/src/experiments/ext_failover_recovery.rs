@@ -1,0 +1,51 @@
+//! Extension experiment: control-plane recovery cost of a single node fault as
+//! a function of the ring degree K.
+//!
+//! The paper reports the OCSTrx hardware switching latency (60–80 µs, §5.1) and
+//! argues that the fault explosion radius is node-level (§4.2); this harness
+//! measures the *control path* of that claim: how many OCSTrx bundles must be
+//! reconfigured, on how many nodes, and how long recovery takes end-to-end,
+//! both with hardware-only latencies and with production software latencies.
+
+use crate::registry::RunCtx;
+use crate::{fmt, Table};
+use infinitehbd::control::{ClusterManager, ControlLatencies};
+use infinitehbd::prelude::*;
+
+pub fn run(_ctx: &RunCtx) -> Vec<Table> {
+    let header = [
+        "K",
+        "commands",
+        "nodes reconfig",
+        "hw latency (us)",
+        "recovery hw-only (us)",
+        "recovery production (s)",
+    ];
+    let mut rows = Vec::new();
+    for k in [2usize, 3, 4] {
+        let ring = KHopRing::new(720, 4, k).expect("valid ring");
+        let mut hw =
+            ClusterManager::new(ring.clone(), ControlLatencies::hardware_only()).expect("manager");
+        let hw_report = hw.inject_fault(NodeId(360), Seconds(10.0)).expect("fault");
+
+        let mut prod =
+            ClusterManager::new(ring, ControlLatencies::production_defaults()).expect("manager");
+        let prod_report = prod
+            .inject_fault(NodeId(360), Seconds(10.0))
+            .expect("fault");
+
+        rows.push(vec![
+            k.to_string(),
+            hw_report.commands.to_string(),
+            hw_report.nodes_reconfigured.to_string(),
+            fmt(hw_report.hardware_latency.value(), 1),
+            fmt(hw_report.total_recovery.value() * 1e6, 1),
+            fmt(prod_report.total_recovery.value(), 3),
+        ]);
+    }
+    vec![Table::new(
+        "Extension: single-fault recovery cost vs K (720 nodes, 2,880 GPUs)",
+        &header,
+        rows,
+    )]
+}

@@ -1,0 +1,32 @@
+//! Fig 10b: core-module power of the OCSTrx per activated path and ambient
+//! temperature.
+
+use crate::registry::RunCtx;
+use crate::{fmt, Table};
+use infinitehbd::ocstrx::{PathId, PowerModel};
+
+pub fn run(_ctx: &RunCtx) -> Vec<Table> {
+    let model = PowerModel::paper_calibrated();
+    let header = [
+        "temp (C)",
+        "Path 1 (W)",
+        "Path 2 (W)",
+        "Path 3 (W)",
+        "total (W)",
+    ];
+    let mut rows = Vec::new();
+    for temp in [0.0, 25.0, 50.0, 85.0] {
+        rows.push(vec![
+            fmt(temp, 0),
+            fmt(model.core_power(PathId::External1, temp).value(), 3),
+            fmt(model.core_power(PathId::External2, temp).value(), 3),
+            fmt(model.core_power(PathId::Loopback, temp).value(), 3),
+            fmt(model.total_power(PathId::Loopback, temp).value(), 2),
+        ]);
+    }
+    vec![Table::new(
+        "Fig 10b: OCSTrx core-module power",
+        &header,
+        rows,
+    )]
+}

@@ -1,0 +1,40 @@
+//! Fig 12: bit-error rate of the OCSTrx under varying optical modulation
+//! amplitude and ambient temperature.
+
+use crate::registry::RunCtx;
+use crate::Table;
+use infinitehbd::ocstrx::optics::OmaSweep;
+use infinitehbd::ocstrx::{BerModel, OpticalConditions};
+
+pub fn run(ctx: &RunCtx) -> Vec<Table> {
+    let mut rng = ctx.rng();
+    let model = BerModel::paper_calibrated();
+    let sweep = OmaSweep::paper_sweep();
+    let bits = ctx.count(10_000_000_000) as u64;
+    let header = ["OMA (mW)", "-5C", "25C", "50C", "75C"];
+    let mut rows = Vec::new();
+    for oma in sweep.values() {
+        let mut row = vec![format!("{oma:.2}")];
+        for temp in [-5.0, 25.0, 50.0, 75.0] {
+            let ber = model.measure(
+                OpticalConditions {
+                    temperature_c: temp,
+                    oma_mw: oma,
+                },
+                bits,
+                &mut rng,
+            );
+            row.push(if ber == 0.0 {
+                "0".to_string()
+            } else {
+                format!("{ber:.1e}")
+            });
+        }
+        rows.push(row);
+    }
+    vec![Table::new(
+        "Fig 12: OCSTrx BER vs OMA and temperature",
+        &header,
+        rows,
+    )]
+}

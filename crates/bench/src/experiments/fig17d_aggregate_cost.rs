@@ -1,0 +1,67 @@
+//! Fig 17d: normalized aggregate cost (GPU capital lost to faults and waste
+//! plus interconnect) versus node fault ratio for every architecture, TP-32 on
+//! a 2,880-GPU cluster.
+
+use crate::registry::RunCtx;
+use crate::{fmt, Table};
+use infinitehbd::cost::normalized_aggregate_cost;
+use infinitehbd::prelude::*;
+
+pub fn run(ctx: &RunCtx) -> Vec<Table> {
+    let nodes = 720;
+    let pairs: Vec<(Box<dyn HbdArchitecture>, ArchitectureBom)> = vec![
+        (Box::new(TpuV4::new(nodes, 4)), ArchitectureBom::tpuv4()),
+        (
+            Box::new(Nvl::new(nodes, 4, NvlVariant::Nvl36)),
+            ArchitectureBom::nvl36(),
+        ),
+        (
+            Box::new(Nvl::new(nodes, 4, NvlVariant::Nvl72)),
+            ArchitectureBom::nvl72(),
+        ),
+        (
+            Box::new(Nvl::new(nodes, 4, NvlVariant::Nvl36x2)),
+            ArchitectureBom::nvl36x2(),
+        ),
+        (
+            Box::new(Nvl::new(nodes, 4, NvlVariant::Nvl576)),
+            ArchitectureBom::nvl576(),
+        ),
+        (
+            Box::new(KHopRing::new(nodes, 4, 2).expect("valid ring")),
+            ArchitectureBom::infinitehbd_k2(),
+        ),
+        (
+            Box::new(KHopRing::new(nodes, 4, 3).expect("valid ring")),
+            ArchitectureBom::infinitehbd_k3(),
+        ),
+    ];
+    let ratios = [0.0, 0.05, 0.10, 0.15, 0.20, 0.25];
+    let mut header: Vec<String> = vec!["fault ratio (%)".to_string()];
+    header.extend(pairs.iter().map(|(_, bom)| bom.name.clone()));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut rows = Vec::new();
+    for ratio in ratios {
+        let mut rng = ctx.rng();
+        let faults = FaultSet::from_nodes(IidFaultModel::new(nodes, ratio).sample_exact(&mut rng));
+        let mut row = vec![fmt(ratio * 100.0, 0)];
+        for (arch, bom) in &pairs {
+            let report = arch.utilization(&faults, 32);
+            let cost = normalized_aggregate_cost(&AggregateCostInput {
+                gpu_cost: Dollars(25_000.0),
+                total_gpus: report.total_gpus,
+                faulty_gpus: report.faulty_gpus,
+                wasted_gpus: report.wasted_healthy_gpus,
+                // Normalise every interconnect to 800 GBps of per-GPU bandwidth.
+                interconnect_cost_per_gpu: Dollars(bom.cost_per_gbyteps() * 800.0),
+            });
+            row.push(fmt(cost, 1));
+        }
+        rows.push(row);
+    }
+    vec![Table::new(
+        "Fig 17d: normalized aggregate cost vs fault ratio (TP-32)",
+        &header_refs,
+        rows,
+    )]
+}

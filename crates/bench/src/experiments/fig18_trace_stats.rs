@@ -1,0 +1,57 @@
+//! Fig 18: macro statistics of the (generated) production fault trace — the
+//! daily fault-node ratio and its CDF with p50/p99 annotations.
+
+use crate::registry::RunCtx;
+use crate::{fmt, Table};
+use infinitehbd::prelude::*;
+
+pub fn run(ctx: &RunCtx) -> Vec<Table> {
+    let mut config = GeneratorConfig::paper_8gpu_cluster();
+    config.duration = Seconds::from_days(ctx.days(config.duration.as_days()));
+    let generator = TraceGenerator::new(config).expect("valid config");
+    let trace = generator.generate(&mut ctx.rng());
+    let stats = TraceStats::daily(&trace);
+    let header = ["statistic", "value"];
+    let rows = vec![
+        vec![
+            "trace length (days)".to_string(),
+            fmt(trace.duration().as_days(), 0),
+        ],
+        vec!["fault events".to_string(), trace.len().to_string()],
+        vec![
+            "mean fault-node ratio (%)".to_string(),
+            fmt(stats.mean_ratio * 100.0, 2),
+        ],
+        vec![
+            "p50 fault-node ratio (%)".to_string(),
+            fmt(stats.p50_ratio * 100.0, 2),
+        ],
+        vec![
+            "p99 fault-node ratio (%)".to_string(),
+            fmt(stats.p99_ratio * 100.0, 2),
+        ],
+        vec![
+            "max fault-node ratio (%)".to_string(),
+            fmt(stats.max_ratio * 100.0, 2),
+        ],
+    ];
+    let mut tables = vec![Table::new(
+        "Fig 18: fault-trace statistics (paper: mean 2.33%, p50 1.67%, p99 7.22%)",
+        &header,
+        rows,
+    )];
+
+    let cdf = stats.cdf();
+    let header = ["fault ratio (%)", "CDF"];
+    let rows: Vec<Vec<String>> = cdf
+        .iter()
+        .step_by((cdf.len() / 12).max(1))
+        .map(|&(ratio, p)| vec![fmt(ratio * 100.0, 2), fmt(p, 3)])
+        .collect();
+    tables.push(Table::new(
+        "Fig 18b: CDF of the daily fault-node ratio",
+        &header,
+        rows,
+    ));
+    tables
+}

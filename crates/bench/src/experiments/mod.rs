@@ -1,0 +1,30 @@
+//! One module per registered experiment. Each module exposes
+//! `pub fn run(&RunCtx) -> Vec<Table>` — the body that used to live in the
+//! corresponding binary's `main` — and the binaries are now thin wrappers
+//! around [`crate::run_cli`].
+
+pub mod appg_alltoall;
+pub mod appg_alltoall_fastswitch;
+pub mod ext_dcn_congestion;
+pub mod ext_failover_recovery;
+pub mod fig10_11_insertion_loss;
+pub mod fig10b_power;
+pub mod fig12_ber;
+pub mod fig13_waste_cdf;
+pub mod fig14_waste_vs_fault;
+pub mod fig15_max_job;
+pub mod fig16_fault_waiting;
+pub mod fig17a_cluster_size;
+pub mod fig17b_job_scale;
+pub mod fig17c_fault_ratio;
+pub mod fig17d_aggregate_cost;
+pub mod fig18_trace_stats;
+pub mod fig20_waste_timeseries;
+pub mod sec52_allreduce_util;
+pub mod table2_llama_mfu;
+pub mod table3_traffic_volume;
+pub mod table4_tp_vs_ep;
+pub mod table5_moe_mfu;
+pub mod table6_cost_power;
+pub mod table7_waste_bound;
+pub mod table8_bom;

@@ -1,0 +1,35 @@
+//! Table 3: per-MoE-layer communication volume of TP (AllReduce) and EP
+//! (AllToAll), evaluated on the GPT-MoE configuration.
+
+use crate::registry::RunCtx;
+use crate::{fmt, Table};
+use infinitehbd::llmsim::CommModel;
+use infinitehbd::prelude::*;
+
+pub fn run(_ctx: &RunCtx) -> Vec<Table> {
+    let comm = CommModel::paper_defaults();
+    let model = ModelConfig::gpt_moe_1t();
+    let header = [
+        "parallel size n",
+        "TP AllReduce (MB)",
+        "EP AllToAll (MB)",
+        "EP/TP",
+    ];
+    let mut rows = Vec::new();
+    for n in [2usize, 4, 8] {
+        let tp = comm
+            .tp_allreduce_bytes(&model, &ParallelismStrategy::new(n, 1, 1))
+            .value()
+            / 1e6;
+        let ep = comm
+            .ep_alltoall_bytes(&model, &ParallelismStrategy::new(1, 1, n).with_ep(n))
+            .value()
+            / 1e6;
+        rows.push(vec![n.to_string(), fmt(tp, 1), fmt(ep, 1), fmt(ep / tp, 3)]);
+    }
+    vec![Table::new(
+        "Table 3: TP vs EP traffic per MoE layer (top-2 of 8 experts)",
+        &header,
+        rows,
+    )]
+}

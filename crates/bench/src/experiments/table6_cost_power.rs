@@ -1,0 +1,26 @@
+//! Table 6: interconnect cost and power per GPU and per GBps.
+
+use crate::registry::RunCtx;
+use crate::{fmt, Table};
+use infinitehbd::prelude::*;
+
+pub fn run(_ctx: &RunCtx) -> Vec<Table> {
+    let header = ["architecture", "$/GPU", "W/GPU", "$/GBps", "W/GBps"];
+    let rows: Vec<Vec<String>> = NormalizedCost::table6()
+        .into_iter()
+        .map(|row| {
+            vec![
+                row.name,
+                fmt(row.cost_per_gpu, 2),
+                fmt(row.watts_per_gpu, 2),
+                fmt(row.cost_per_gbyteps, 2),
+                fmt(row.watts_per_gbyteps, 3),
+            ]
+        })
+        .collect();
+    vec![Table::new(
+        "Table 6: interconnect cost and power",
+        &header,
+        rows,
+    )]
+}

@@ -1,42 +1,135 @@
-//! Shared helpers for the experiment harness binaries.
+//! The experiment harness.
 //!
-//! Every binary regenerates one table or figure of the paper's evaluation and
-//! prints it both as a human-readable table and (with `--json`) as a JSON
-//! document, so EXPERIMENTS.md can be refreshed mechanically.
+//! Every table and figure of the paper's evaluation is one **registered
+//! experiment** ([`registry`]): a named function from a [`registry::RunCtx`]
+//! (seed, thread count, scale factor) to a list of [`Table`]s. The per-figure
+//! binaries under `src/bin/` are thin wrappers around the registry ([`run_cli`])
+//! and the `experiments` driver binary runs the whole registry in-process,
+//! regenerating `EXPERIMENTS.md` and a machine-readable `bench_results.json`.
+//!
+//! Every experiment is deterministic in `(seed, scale)` and **invariant in the
+//! thread count**: stochastic sweeps draw from per-shard RNG streams derived
+//! from the master seed (see [`par`]), so `--threads 1` and `--threads N`
+//! produce byte-identical JSON — the property the workspace-level
+//! `integration_determinism` suite asserts for all 25 registered experiments.
+
+pub mod experiments;
+pub mod registry;
+pub mod table;
+
+/// The scoped fan-out pool used by the parallel sweeps, re-exported from
+/// `hbd_types::par` so harness code can say `bench::par::par_map`.
+pub mod par {
+    pub use infinitehbd::hbd_types::par::{par_map, par_map_range, par_map_seeded, stream_seed};
+}
+
+pub use table::Table;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Parses the common CLI flags of the harness binaries: `--seed <u64>` and
-/// `--json`.
+/// Parses the common CLI flags of the harness binaries: `--seed <u64>`,
+/// `--threads <n>`, `--scale <f64>` and `--json`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct HarnessArgs {
-    /// RNG seed used by every stochastic experiment.
+    /// RNG master seed used by every stochastic experiment.
     pub seed: u64,
     /// Emit machine-readable JSON instead of the plain-text table.
     pub json: bool,
+    /// Worker threads for the parallel sweeps (results are identical for any
+    /// value; this only changes wall-clock time).
+    pub threads: usize,
+    /// Scale factor applied to sample counts / trial counts / trace lengths;
+    /// `1.0` reproduces the paper-sized experiments, smaller values give a
+    /// proportionally cheaper smoke run.
+    pub scale: f64,
 }
 
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            seed: 42,
+            json: false,
+            threads: 1,
+            scale: 1.0,
+        }
+    }
+}
+
+/// One-line usage string shared by every harness binary.
+pub const USAGE: &str = "usage: <binary> [--seed <u64>] [--threads <n>] [--scale <f64>] [--json]";
+
 impl HarnessArgs {
-    /// Parses `std::env::args()`.
+    /// Parses `std::env::args()`, printing the error and usage to stderr and
+    /// exiting with status 2 on malformed input (a malformed `--seed` is an
+    /// error, not a silent fallback to the default).
     pub fn parse() -> Self {
-        let args: Vec<String> = std::env::args().collect();
-        let mut seed = 42u64;
-        let mut json = false;
-        let mut i = 1;
-        while i < args.len() {
-            match args[i].as_str() {
-                "--seed" => {
-                    if let Some(value) = args.get(i + 1) {
-                        seed = value.parse().unwrap_or(42);
-                        i += 1;
-                    }
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        match Self::try_parse(&argv) {
+            Ok((args, leftover)) => {
+                if let Some(unknown) = leftover.first() {
+                    eprintln!("error: unknown argument '{unknown}'\n{USAGE}");
+                    std::process::exit(2);
                 }
-                "--json" => json = true,
-                _ => {}
+                args
+            }
+            Err(message) => {
+                eprintln!("error: {message}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses the common flags out of `argv`, returning the parsed arguments
+    /// and any unrecognised arguments (in order) for the caller to interpret
+    /// or reject. Malformed values for recognised flags are hard errors.
+    pub fn try_parse(argv: &[String]) -> Result<(Self, Vec<String>), String> {
+        let mut args = HarnessArgs::default();
+        let mut leftover = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--seed" => {
+                    let value = argv
+                        .get(i + 1)
+                        .ok_or_else(|| "--seed requires a value".to_string())?;
+                    args.seed = value.parse().map_err(|_| {
+                        format!("malformed --seed value '{value}' (expected a u64)")
+                    })?;
+                    i += 1;
+                }
+                "--threads" => {
+                    let value = argv
+                        .get(i + 1)
+                        .ok_or_else(|| "--threads requires a value".to_string())?;
+                    args.threads = value.parse().map_err(|_| {
+                        format!("malformed --threads value '{value}' (expected a positive integer)")
+                    })?;
+                    if args.threads == 0 {
+                        return Err("--threads must be at least 1".to_string());
+                    }
+                    i += 1;
+                }
+                "--scale" => {
+                    let value = argv
+                        .get(i + 1)
+                        .ok_or_else(|| "--scale requires a value".to_string())?;
+                    args.scale = value.parse().map_err(|_| {
+                        format!("malformed --scale value '{value}' (expected a float)")
+                    })?;
+                    if !(args.scale > 0.0 && args.scale.is_finite()) {
+                        return Err(format!(
+                            "--scale must be a positive finite number, got {value}"
+                        ));
+                    }
+                    i += 1;
+                }
+                "--json" => args.json = true,
+                other => leftover.push(other.to_string()),
             }
             i += 1;
         }
-        HarnessArgs { seed, json }
+        Ok((args, leftover))
     }
 
     /// A seeded RNG for the experiment.
@@ -45,7 +138,28 @@ impl HarnessArgs {
     }
 }
 
-/// Prints a named series as aligned columns.
+/// Runs the registered experiment `name` as a standalone binary: parses the
+/// common CLI flags and prints every table the experiment produces, as text or
+/// (with `--json`) one JSON document per table.
+pub fn run_cli(name: &str) {
+    let args = HarnessArgs::parse();
+    let experiment = registry::find(name)
+        .unwrap_or_else(|| panic!("experiment '{name}' is not in the registry"));
+    let ctx = registry::RunCtx::from_args(&args);
+    for table in (experiment.run)(&ctx) {
+        if args.json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&table.to_json()).expect("serialisable")
+            );
+        } else {
+            table.print_text();
+        }
+    }
+}
+
+/// Prints a named series as aligned columns (legacy helper, kept as the
+/// text-rendering primitive behind [`Table::print_text`]).
 pub fn print_series(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("== {title} ==");
     println!(
@@ -68,35 +182,6 @@ pub fn print_series(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!();
 }
 
-/// Serialises rows to a JSON document on stdout.
-pub fn print_json(title: &str, header: &[&str], rows: &[Vec<String>]) {
-    let records: Vec<serde_json::Value> = rows
-        .iter()
-        .map(|row| {
-            let map: serde_json::Map<String, serde_json::Value> = header
-                .iter()
-                .zip(row.iter())
-                .map(|(k, v)| ((*k).to_string(), serde_json::Value::String(v.clone())))
-                .collect();
-            serde_json::Value::Object(map)
-        })
-        .collect();
-    let doc = serde_json::json!({ "experiment": title, "rows": records });
-    println!(
-        "{}",
-        serde_json::to_string_pretty(&doc).expect("serialisable")
-    );
-}
-
-/// Dispatches between the plain-text and JSON output paths.
-pub fn emit(args: &HarnessArgs, title: &str, header: &[&str], rows: &[Vec<String>]) {
-    if args.json {
-        print_json(title, header, rows);
-    } else {
-        print_series(title, header, rows);
-    }
-}
-
 /// Formats a float with the given number of decimals.
 pub fn fmt(value: f64, decimals: usize) -> String {
     format!("{value:.decimals$}")
@@ -106,6 +191,10 @@ pub fn fmt(value: f64, decimals: usize) -> String {
 mod tests {
     use super::*;
 
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn fmt_rounds_to_requested_precision() {
         assert_eq!(fmt(2.4652, 2), "2.47");
@@ -113,12 +202,51 @@ mod tests {
     }
 
     #[test]
-    fn default_args_without_cli() {
-        let args = HarnessArgs {
-            seed: 7,
-            json: false,
-        };
+    fn try_parse_reads_every_flag() {
+        let (args, leftover) = HarnessArgs::try_parse(&argv(&[
+            "--seed",
+            "7",
+            "--threads",
+            "4",
+            "--scale",
+            "0.5",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            args,
+            HarnessArgs {
+                seed: 7,
+                json: true,
+                threads: 4,
+                scale: 0.5
+            }
+        );
+        assert!(leftover.is_empty());
         let _ = args.rng();
-        assert_eq!(args.seed, 7);
+    }
+
+    #[test]
+    fn malformed_seed_is_an_error_not_a_silent_default() {
+        let err = HarnessArgs::try_parse(&argv(&["--seed", "not-a-number"])).unwrap_err();
+        assert!(err.contains("malformed --seed"), "{err}");
+        // A missing value is an error too.
+        let err = HarnessArgs::try_parse(&argv(&["--seed"])).unwrap_err();
+        assert!(err.contains("--seed requires a value"), "{err}");
+    }
+
+    #[test]
+    fn malformed_threads_and_scale_are_errors() {
+        assert!(HarnessArgs::try_parse(&argv(&["--threads", "zero"])).is_err());
+        assert!(HarnessArgs::try_parse(&argv(&["--threads", "0"])).is_err());
+        assert!(HarnessArgs::try_parse(&argv(&["--scale", "-1"])).is_err());
+        assert!(HarnessArgs::try_parse(&argv(&["--scale", "nope"])).is_err());
+    }
+
+    #[test]
+    fn unknown_arguments_are_returned_to_the_caller() {
+        let (args, leftover) = HarnessArgs::try_parse(&argv(&["--only", "fig14"])).unwrap();
+        assert_eq!(args.seed, 42);
+        assert_eq!(leftover, argv(&["--only", "fig14"]));
     }
 }

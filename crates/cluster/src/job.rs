@@ -2,6 +2,8 @@
 //! fault-waiting rate (Figs 16 / 23).
 
 use fault::FaultTrace;
+use hbd_types::par::par_map;
+use hbd_types::{NodeId, Seconds};
 use topology::{FaultSet, HbdArchitecture};
 
 /// The largest job (in GPUs, a multiple of the TP size) that the architecture
@@ -18,16 +20,28 @@ pub fn max_job_over_trace(
     tp_size: usize,
     samples: usize,
 ) -> usize {
-    trace
-        .sample(samples)
-        .into_iter()
-        .map(|(_, faulty)| {
-            let faults =
-                FaultSet::from_nodes(faulty.into_iter().filter(|n| n.index() < arch.nodes()));
-            max_supported_job(arch, &faults, tp_size)
-        })
-        .min()
-        .unwrap_or(0)
+    max_job_over_trace_par(arch, trace, tp_size, samples, 1)
+}
+
+/// Parallel version of [`max_job_over_trace`]: sampled instants are
+/// independent, so they fan out over up to `threads` scoped threads with a
+/// result identical for any thread count.
+pub fn max_job_over_trace_par(
+    arch: &dyn HbdArchitecture,
+    trace: &FaultTrace,
+    tp_size: usize,
+    samples: usize,
+    threads: usize,
+) -> usize {
+    let instants: Vec<(Seconds, Vec<NodeId>)> = trace.sample(samples);
+    par_map(threads, &instants, |_, (_, faulty)| {
+        let faults =
+            FaultSet::from_nodes(faulty.iter().copied().filter(|n| n.index() < arch.nodes()));
+        max_supported_job(arch, &faults, tp_size)
+    })
+    .into_iter()
+    .min()
+    .unwrap_or(0)
 }
 
 /// Fraction of the trace during which a job of `job_gpus` GPUs cannot run
@@ -40,16 +54,29 @@ pub fn fault_waiting_rate(
     job_gpus: usize,
     samples: usize,
 ) -> f64 {
+    fault_waiting_rate_par(arch, trace, tp_size, job_gpus, samples, 1)
+}
+
+/// Parallel version of [`fault_waiting_rate`], fanning the sampled instants
+/// out over up to `threads` scoped threads.
+pub fn fault_waiting_rate_par(
+    arch: &dyn HbdArchitecture,
+    trace: &FaultTrace,
+    tp_size: usize,
+    job_gpus: usize,
+    samples: usize,
+    threads: usize,
+) -> f64 {
     assert!(samples > 0, "need at least one sample");
-    let waiting = trace
-        .sample(samples)
-        .into_iter()
-        .filter(|(_, faulty)| {
-            let faults =
-                FaultSet::from_nodes(faulty.iter().copied().filter(|n| n.index() < arch.nodes()));
-            max_supported_job(arch, &faults, tp_size) < job_gpus
-        })
-        .count();
+    let instants: Vec<(Seconds, Vec<NodeId>)> = trace.sample(samples);
+    let waiting = par_map(threads, &instants, |_, (_, faulty)| {
+        let faults =
+            FaultSet::from_nodes(faulty.iter().copied().filter(|n| n.index() < arch.nodes()));
+        max_supported_job(arch, &faults, tp_size) < job_gpus
+    })
+    .into_iter()
+    .filter(|&waits| waits)
+    .count();
     waiting as f64 / samples as f64
 }
 
@@ -119,6 +146,25 @@ mod tests {
         let ring_wait = fault_waiting_rate(&ring, &trace, 32, job, 150);
         let sip_wait = fault_waiting_rate(&sip, &trace, 32, job, 150);
         assert!(ring_wait <= sip_wait);
+    }
+
+    #[test]
+    fn parallel_job_metrics_match_sequential() {
+        let trace = trace_720();
+        let ring = KHopRing::new(720, 4, 2).unwrap();
+        assert_eq!(
+            max_job_over_trace(&ring, &trace, 32, 80),
+            max_job_over_trace_par(&ring, &trace, 32, 80, 4)
+        );
+        assert_eq!(
+            fault_waiting_rate(&ring, &trace, 32, 2688, 80),
+            fault_waiting_rate_par(&ring, &trace, 32, 2688, 80, 4)
+        );
+        // And the parallel path is invariant in the thread count itself.
+        assert_eq!(
+            max_job_over_trace_par(&ring, &trace, 32, 80, 1),
+            max_job_over_trace_par(&ring, &trace, 32, 80, 8)
+        );
     }
 
     #[test]

@@ -66,4 +66,71 @@ proptest! {
             prop_assert!(saturated, "flow {f} has headroom on every link it uses");
         }
     }
+
+    /// Work conservation on the global bottleneck: the link with the smallest
+    /// equal share (capacity / crossing flows) is allocated exactly its full
+    /// capacity — progressive filling never strands bandwidth there.
+    #[test]
+    fn bottleneck_link_is_work_conserving((caps, flows) in arbitrary_scenario()) {
+        let rates = max_min_rates(&caps.iter().copied().map(GBps).collect::<Vec<_>>(), &flows);
+        let users = |l: usize| flows.iter().filter(|links| links.contains(&l)).count();
+        let bottleneck = (0..caps.len())
+            .filter(|&l| users(l) > 0)
+            .min_by(|&a, &b| {
+                let sa = caps[a] / users(a) as f64;
+                let sb = caps[b] / users(b) as f64;
+                sa.total_cmp(&sb)
+            });
+        if let Some(l) = bottleneck {
+            let load: f64 = flows
+                .iter()
+                .zip(&rates)
+                .filter(|(links, _)| links.contains(&l))
+                .map(|(_, r)| r.value())
+                .sum();
+            prop_assert!(
+                (load - caps[l]).abs() <= caps[l] * 1e-9 + 1e-9,
+                "bottleneck link {l}: load {load} != capacity {}", caps[l]
+            );
+        }
+    }
+
+    /// The allocation is a function of each flow's route set, not of the order
+    /// the flows are listed in: reversing (and rotating) the flow list yields
+    /// the same rate for every flow.
+    #[test]
+    fn allocation_is_invariant_under_flow_reordering(
+        (caps, flows) in arbitrary_scenario(),
+        rotation in 0usize..16,
+    ) {
+        let caps_gbps: Vec<GBps> = caps.iter().copied().map(GBps).collect();
+        let baseline = max_min_rates(&caps_gbps, &flows);
+
+        // Reversal.
+        let reversed: Vec<Vec<usize>> = flows.iter().rev().cloned().collect();
+        let reversed_rates = max_min_rates(&caps_gbps, &reversed);
+        for (f, rate) in baseline.iter().enumerate() {
+            let mirrored = reversed_rates[flows.len() - 1 - f];
+            prop_assert!(
+                (rate.value() - mirrored.value()).abs() <= 1e-9 * rate.value().max(1.0),
+                "flow {f}: {} != {} after reversal", rate.value(), mirrored.value()
+            );
+        }
+
+        // Rotation by an arbitrary offset.
+        let shift = rotation % flows.len();
+        let rotated: Vec<Vec<usize>> = flows[shift..]
+            .iter()
+            .chain(flows[..shift].iter())
+            .cloned()
+            .collect();
+        let rotated_rates = max_min_rates(&caps_gbps, &rotated);
+        for (f, rate) in baseline.iter().enumerate() {
+            let moved = rotated_rates[(f + flows.len() - shift) % flows.len()];
+            prop_assert!(
+                (rate.value() - moved.value()).abs() <= 1e-9 * rate.value().max(1.0),
+                "flow {f}: {} != {} after rotation", rate.value(), moved.value()
+            );
+        }
+    }
 }

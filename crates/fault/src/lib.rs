@@ -17,7 +17,9 @@
 //! * [`stats`] — the macro statistics of Fig 18 (fault-ratio time series, CDF,
 //!   percentiles),
 //! * [`model`] — the i.i.d. node-fault model used for the "waste ratio vs fault
-//!   ratio" sweeps (Figs 14 and 22).
+//!   ratio" sweeps (Figs 14 and 22),
+//! * [`montecarlo`] — the parallel Monte-Carlo fan-out over (ratio, trial)
+//!   shards with one deterministic RNG stream per shard.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +29,7 @@ pub mod event;
 pub mod generator;
 pub mod io;
 pub mod model;
+pub mod montecarlo;
 pub mod stats;
 pub mod trace;
 
@@ -35,5 +38,6 @@ pub use event::FaultEvent;
 pub use generator::{GeneratorConfig, TraceGenerator};
 pub use io::{from_csv, from_json, to_csv, to_json};
 pub use model::IidFaultModel;
+pub use montecarlo::{shards, sweep_means, Shard};
 pub use stats::{TraceStats, DAY_SECONDS};
 pub use trace::FaultTrace;

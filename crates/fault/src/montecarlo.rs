@@ -1,0 +1,124 @@
+//! Parallel Monte-Carlo fan-out over (fault ratio, trial) shards.
+//!
+//! The waste-versus-fault-ratio sweeps (Figs 14 / 17d / 22) draw many
+//! independent fault sets per ratio and average a metric over them — an
+//! embarrassingly parallel grid. This module fans the grid out over scoped
+//! threads with one deterministic RNG stream per `(ratio, trial)` shard, so
+//! the sweep's result depends only on the master seed, never on the thread
+//! count or scheduling order.
+
+use crate::model::IidFaultModel;
+use hbd_types::par::{par_map, stream_seed};
+use hbd_types::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One cell of a Monte-Carlo sweep grid: which fault ratio, which trial, and
+/// the RNG seed owned by that shard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Shard {
+    /// Index of the fault ratio in the sweep's ratio list.
+    pub ratio_index: usize,
+    /// The fault ratio itself.
+    pub ratio: f64,
+    /// Trial number within the ratio, `0..trials`.
+    pub trial: usize,
+    /// Seed of this shard's private RNG stream.
+    pub seed: u64,
+}
+
+impl Shard {
+    /// The shard's private RNG.
+    pub fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+}
+
+/// Enumerates the `(ratio, trial)` grid with one [`stream_seed`]-derived seed
+/// per shard. The flat index `ratio_index * trials + trial` keys the stream,
+/// so the grid layout — not the execution order — defines every seed.
+pub fn shards(fault_ratios: &[f64], trials: usize, master_seed: u64) -> Vec<Shard> {
+    let mut grid = Vec::with_capacity(fault_ratios.len() * trials);
+    for (ratio_index, &ratio) in fault_ratios.iter().enumerate() {
+        for trial in 0..trials {
+            grid.push(Shard {
+                ratio_index,
+                ratio,
+                trial,
+                seed: stream_seed(master_seed, (ratio_index * trials + trial) as u64),
+            });
+        }
+    }
+    grid
+}
+
+/// Runs `metric` on every `(ratio, trial)` shard in parallel and returns the
+/// per-ratio trial means, in ratio order.
+///
+/// `metric` receives the shard's fault sample (drawn with
+/// [`IidFaultModel::sample_exact`] from the shard's private stream) and the
+/// ratio; the caller supplies `nodes` for the i.i.d. model. The output is
+/// identical for every `threads` value.
+pub fn sweep_means<F>(
+    nodes: usize,
+    fault_ratios: &[f64],
+    trials: usize,
+    master_seed: u64,
+    threads: usize,
+    metric: F,
+) -> Vec<f64>
+where
+    F: Fn(&[NodeId], f64) -> f64 + Sync,
+{
+    assert!(trials > 0, "need at least one trial per ratio");
+    let grid = shards(fault_ratios, trials, master_seed);
+    let samples = par_map(threads, &grid, |_, shard| {
+        let model = IidFaultModel::new(nodes, shard.ratio);
+        let faults = model.sample_exact(&mut shard.rng());
+        metric(&faults, shard.ratio)
+    });
+    // Reduce the flat grid back to per-ratio means (grid order is ratio-major).
+    fault_ratios
+        .iter()
+        .enumerate()
+        .map(|(ratio_index, _)| {
+            let start = ratio_index * trials;
+            samples[start..start + trials].iter().sum::<f64>() / trials as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_cover_the_grid_deterministically() {
+        let a = shards(&[0.0, 0.1], 3, 42);
+        let b = shards(&[0.0, 0.1], 3, 42);
+        assert_eq!(a.len(), 6);
+        assert_eq!(a, b);
+        // Every shard owns a distinct stream.
+        let mut seeds: Vec<u64> = a.iter().map(|s| s.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 6);
+    }
+
+    #[test]
+    fn sweep_means_is_thread_count_invariant() {
+        let metric = |faults: &[NodeId], _ratio: f64| faults.len() as f64;
+        let one = sweep_means(100, &[0.0, 0.05, 0.10], 8, 7, 1, metric);
+        let four = sweep_means(100, &[0.0, 0.05, 0.10], 8, 7, 4, metric);
+        assert_eq!(one, four);
+        // sample_exact draws exactly round(ratio * nodes) faults, so the means
+        // are exact regardless of the seed.
+        assert_eq!(one, vec![0.0, 5.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_are_rejected() {
+        let _ = sweep_means(10, &[0.1], 0, 1, 1, |_, _| 0.0);
+    }
+}

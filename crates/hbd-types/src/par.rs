@@ -1,0 +1,170 @@
+//! A hand-rolled scoped fan-out pool for the embarrassingly parallel hot
+//! loops of the workspace (Monte-Carlo fault sweeps, trace sampling, the
+//! orchestrator's constraint search).
+//!
+//! The build environment is offline, so rayon is not available; this module
+//! provides the small slice of it the simulators need on plain
+//! [`std::thread::scope`]:
+//!
+//! * [`par_map`] — order-preserving parallel map over a slice, work-stealing
+//!   via a shared atomic cursor;
+//! * [`par_map_seeded`] — the same, but every item additionally receives its
+//!   own deterministic RNG seed derived from a master seed, so results are
+//!   **identical for every thread count** (the property the workspace-level
+//!   determinism suite asserts).
+//!
+//! Seeds for per-item streams come from [`stream_seed`], a SplitMix64 mix of
+//! `(master seed, item index)` — statistically independent streams without any
+//! cross-item sequencing, which is what makes the fan-out order-free.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Derives the seed of per-item RNG stream `index` from a `master` seed.
+///
+/// SplitMix64 applied to `master ^ golden_gamma * (index + 1)`: cheap, well
+/// mixed, and stable across platforms — the contract is that `(master, index)`
+/// uniquely and deterministically identifies the stream, independent of which
+/// thread processes the item.
+pub fn stream_seed(master: u64, index: u64) -> u64 {
+    let mut z = master.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Clamps a requested thread count to something sane: at least 1, at most the
+/// number of work items.
+fn effective_threads(threads: usize, items: usize) -> usize {
+    threads.max(1).min(items.max(1))
+}
+
+/// Order-preserving parallel map: applies `f(index, &item)` to every item of
+/// `items` on up to `threads` scoped worker threads and returns the results in
+/// input order.
+///
+/// With `threads <= 1` (or a single item) this degenerates to a plain
+/// sequential loop with no thread or lock overhead, so callers can thread a
+/// `--threads` flag straight through. `f` must be deterministic in
+/// `(index, item)` for the output to be thread-count-invariant; closures that
+/// share a mutable RNG should use [`par_map_seeded`] instead.
+pub fn par_map<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = effective_threads(threads, items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    // Shared cursor hands out item indices; each worker stores its results as
+    // (index, value) pairs and the merge step restores input order. The
+    // per-item Mutex push is negligible next to the coarse work items this
+    // pool is used for.
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let value = f(i, item);
+                results
+                    .lock()
+                    .expect("no worker panicked while holding the results lock")
+                    .push((i, value));
+            });
+        }
+    });
+    let mut pairs = results
+        .into_inner()
+        .expect("all workers joined before the scope ended");
+    pairs.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(pairs.len(), items.len());
+    pairs.into_iter().map(|(_, v)| v).collect()
+}
+
+/// [`par_map`] with a deterministic per-item RNG seed: `f` receives
+/// `(index, &item, seed)` where `seed = stream_seed(master, index)`.
+///
+/// Because every item owns an independent stream, the result is byte-identical
+/// for any thread count — the backbone of the workspace's "`--threads 1` ==
+/// `--threads 4`" determinism guarantee.
+pub fn par_map_seeded<T, U, F>(threads: usize, master: u64, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T, u64) -> U + Sync,
+{
+    par_map(threads, items, |i, item| {
+        f(i, item, stream_seed(master, i as u64))
+    })
+}
+
+/// Parallel map over an index range `0..count` (for loops that have no input
+/// slice, e.g. "run `count` Monte-Carlo trials").
+pub fn par_map_range<U, F>(threads: usize, count: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let indices: Vec<usize> = (0..count).collect();
+    par_map(threads, &indices, |_, &i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_seeds_are_distinct_and_stable() {
+        let a = stream_seed(42, 0);
+        let b = stream_seed(42, 1);
+        let c = stream_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, stream_seed(42, 0));
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let doubled = par_map(4, &items, |_, &x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_is_thread_count_invariant() {
+        let items: Vec<u64> = (0..37).collect();
+        let f = |i: usize, x: &u64| stream_seed(*x, i as u64);
+        let seq = par_map(1, &items, f);
+        let par = par_map(4, &items, f);
+        let wide = par_map(16, &items, f);
+        assert_eq!(seq, par);
+        assert_eq!(seq, wide);
+    }
+
+    #[test]
+    fn par_map_seeded_matches_sequential_seeds() {
+        let items = vec![(); 20];
+        let seeds = par_map_seeded(3, 7, &items, |_, _, seed| seed);
+        for (i, seed) in seeds.iter().enumerate() {
+            assert_eq!(*seed, stream_seed(7, i as u64));
+        }
+    }
+
+    #[test]
+    fn par_map_range_covers_the_whole_range() {
+        let squares = par_map_range(4, 10, |i| i * i);
+        assert_eq!(squares, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs_are_fine() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(0, &[5u32], |_, &x| x), vec![5]);
+    }
+}

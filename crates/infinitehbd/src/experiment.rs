@@ -2,14 +2,15 @@
 //! source and the comparison architectures together, for users who want the
 //! paper's headline numbers without assembling the crates by hand.
 
-use cluster::{fault_waiting_rate, max_supported_job, waste_over_trace};
+use cluster::{fault_waiting_rate_par, max_job_over_trace_par, waste_over_trace_par};
 use control::{ClusterManager, ControlLatencies};
 use fault::{FaultTrace, GeneratorConfig, TraceGenerator};
+use hbd_types::par::par_map;
 use hbd_types::{ClusterConfig, HbdError, Microseconds, Result, Seconds};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use topology::{paper_architectures, FaultSet, HbdArchitecture, KHopRing};
+use topology::{paper_architectures, HbdArchitecture, KHopRing};
 
 /// A cluster-level fault-resilience study comparing every architecture the
 /// paper evaluates on the same synthetic fault trace.
@@ -94,44 +95,41 @@ impl ClusterStudy {
     /// Runs the study over every architecture of the paper's comparison, using
     /// `samples` evenly spaced instants of the trace.
     pub fn run(&self, samples: usize) -> Vec<StudyReport> {
+        self.run_par(samples, 1)
+    }
+
+    /// [`run`](Self::run) with the per-architecture trace replays fanned out
+    /// over up to `threads` scoped threads. The replay is deterministic (no
+    /// RNG), so the reports are identical for every thread count.
+    pub fn run_par(&self, samples: usize, threads: usize) -> Vec<StudyReport> {
         let archs = paper_architectures(
             self.config.nodes,
             self.config.node_size.gpus(),
             self.tp_size,
         );
-        archs
-            .iter()
-            .map(|arch| self.run_one(arch.as_ref(), samples))
-            .collect()
+        par_map(threads, &archs, |_, arch| {
+            self.run_one(arch.as_ref(), samples)
+        })
     }
 
     fn run_one(&self, arch: &dyn HbdArchitecture, samples: usize) -> StudyReport {
-        let points = waste_over_trace(arch, &self.trace, self.tp_size, samples);
+        let points = waste_over_trace_par(arch, &self.trace, self.tp_size, samples, 1);
         let mean = points.iter().map(|p| p.waste_ratio).sum::<f64>() / points.len() as f64;
         let max = points.iter().map(|p| p.waste_ratio).fold(0.0, f64::max);
-        let min_job = self
-            .trace
-            .sample(samples)
-            .into_iter()
-            .map(|(_, faulty)| {
-                let faults =
-                    FaultSet::from_nodes(faulty.into_iter().filter(|n| n.index() < arch.nodes()));
-                max_supported_job(arch, &faults, self.tp_size)
-            })
-            .min()
-            .unwrap_or(0);
+        let min_job = max_job_over_trace_par(arch, &self.trace, self.tp_size, samples, 1);
         let job_90 = (self.config.total_gpus() * 9 / 10 / self.tp_size) * self.tp_size;
         StudyReport {
             architecture: arch.name().to_string(),
             mean_waste_ratio: mean,
             max_waste_ratio: max,
             min_supported_job: min_job,
-            fault_waiting_rate_90pct: fault_waiting_rate(
+            fault_waiting_rate_90pct: fault_waiting_rate_par(
                 arch,
                 &self.trace,
                 self.tp_size,
                 job_90,
                 samples,
+                1,
             ),
         }
     }
@@ -386,6 +384,18 @@ mod tests {
         // With zero software latency every recovery is a single parallel OCSTrx
         // switch: at most 80 us.
         assert!(summary.max_recovery <= Seconds(80e-6), "{summary:?}");
+    }
+
+    #[test]
+    fn parallel_study_matches_sequential() {
+        let study = ClusterStudy::new(
+            ClusterConfig::new(90, NodeSize::Four, 16, 4).unwrap(),
+            16,
+            Seconds::from_days(10.0),
+            3,
+        )
+        .unwrap();
+        assert_eq!(study.run(10), study.run_par(10, 4));
     }
 
     #[test]

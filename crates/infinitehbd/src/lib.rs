@@ -59,7 +59,9 @@ pub mod experiment;
 pub mod prelude {
     pub use crate::experiment::{ClusterStudy, FailoverStudy, FailoverSummary, StudyReport};
     pub use cluster::{
-        fault_waiting_rate, max_supported_job, waste_over_trace, waste_ratio, waste_vs_fault_ratio,
+        fault_waiting_rate, fault_waiting_rate_par, max_job_over_trace_par, max_supported_job,
+        waste_over_trace, waste_over_trace_par, waste_ratio, waste_vs_fault_ratio,
+        waste_vs_fault_ratio_par,
     };
     pub use collective::{
         AllToAllAlgorithm, AlphaBeta, FastSwitchAllToAll, HierarchicalAllReduce, RingAllReduce,
@@ -86,8 +88,8 @@ pub mod prelude {
     };
     pub use ocstrx::{Bundle, OcsTrx, PathId, TrxConfig};
     pub use orchestrator::{
-        cross_tor_rate, greedy_placement, FatTreeOrchestrator, OrchestrationRequest,
-        PlacementScheme, TrafficModel,
+        cross_tor_rate, greedy_placement, max_orchestratable_job, FatTreeOrchestrator,
+        MaxJobReport, OrchestrationRequest, PlacementScheme, TrafficModel,
     };
     pub use topology::{
         paper_architectures, BigSwitch, BinaryHopRing, DojoMesh, FatTree, FaultSet,

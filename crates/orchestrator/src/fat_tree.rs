@@ -163,43 +163,119 @@ impl FatTreeOrchestrator {
         scheme
     }
 
-    /// `Orchestration-Fat-Tree` (Algorithms 1 and 5): binary-search the number
-    /// of constraints, keeping as many as possible while still satisfying the
+    /// `Orchestration-Fat-Tree` (Algorithms 1 and 5): search the number of
+    /// constraints, keeping as many as possible while still satisfying the
     /// job scale. Returns the placement truncated to the job's group count, or
     /// an error if even the fully relaxed placement cannot satisfy the job.
+    ///
+    /// Equivalent to [`orchestrate_par`](Self::orchestrate_par) with one
+    /// thread (and guaranteed to return the same placement).
     pub fn orchestrate(
         &self,
         request: &OrchestrationRequest,
         faults: &FaultSet,
     ) -> Result<PlacementScheme> {
+        self.orchestrate_par(request, faults, 1)
+    }
+
+    /// [`orchestrate`](Self::orchestrate) with a parallel constraint search.
+    ///
+    /// The paper's binary search probes one constraint count per round; this
+    /// implementation is a *multisection* search that probes
+    /// [`SEARCH_PROBES`](Self::SEARCH_PROBES) evenly spaced constraint counts
+    /// per round and fans the (independent, expensive) placement evaluations
+    /// out over up to `threads` scoped threads. The probe ladder is fixed —
+    /// `threads` only changes how the probes are *evaluated*, never which
+    /// probes are chosen — so the resulting placement is identical for every
+    /// thread count, and with one thread the probes are evaluated lazily from
+    /// the most constrained end. Keeping the ladder identical across thread
+    /// counts is a deliberate trade-off: a `threads == 1` fallback to plain
+    /// bisection would be cheaper in the worst case (one evaluation per
+    /// halving instead of up to [`SEARCH_PROBES`](Self::SEARCH_PROBES) per
+    /// third-ing) but could return a different placement wherever feasibility
+    /// is not perfectly monotone in the constraint count, breaking the
+    /// harness-wide thread-count-invariance guarantee.
+    pub fn orchestrate_par(
+        &self,
+        request: &OrchestrationRequest,
+        faults: &FaultSet,
+        threads: usize,
+    ) -> Result<PlacementScheme> {
         request.validate()?;
         let job_groups = request.job_nodes.div_ceil(request.nodes_per_group);
         let needed_nodes = job_groups * request.nodes_per_group;
+        let feasible = |placement: &PlacementScheme| placement.nodes_placed() >= needed_nodes;
 
         let mut low = 0usize;
         let mut high = self.segment_constraints() + self.alignment_constraints();
-        let mut best: Option<(usize, PlacementScheme)> = None;
+        let mut best: Option<PlacementScheme> = None;
         while low <= high {
-            let mid = (low + high) / 2;
-            let placement = self.placement_with_constraints(request, faults, mid);
-            if placement.nodes_placed() >= needed_nodes {
-                best = Some((mid, placement));
-                low = mid + 1;
+            let probes = Self::probe_ladder(low, high);
+            // Find the most constrained feasible probe and the least
+            // constrained infeasible probe directly above it.
+            let hit = if threads > 1 {
+                let placements = hbd_types::par::par_map(threads, &probes, |_, &n| {
+                    self.placement_with_constraints(request, faults, n)
+                });
+                probes
+                    .iter()
+                    .zip(placements)
+                    .rev()
+                    .find(|(_, placement)| feasible(placement))
+                    .map(|(&n, placement)| (n, placement))
             } else {
-                if mid == 0 {
-                    break;
+                probes.iter().rev().find_map(|&n| {
+                    let placement = self.placement_with_constraints(request, faults, n);
+                    feasible(&placement).then_some((n, placement))
+                })
+            };
+            match hit {
+                Some((n, placement)) => {
+                    // Everything above `n` up to the next probe is still open;
+                    // everything from the next probe on is ruled out.
+                    if let Some(&next) = probes.iter().find(|&&p| p > n) {
+                        high = next - 1;
+                    }
+                    best = Some(placement);
+                    low = n + 1;
                 }
-                high = mid - 1;
+                None => {
+                    // The least constrained probe (== `low`) is infeasible.
+                    if low == 0 {
+                        break;
+                    }
+                    high = low - 1;
+                }
             }
         }
 
-        let (_, mut placement) = best.ok_or_else(|| {
+        let mut placement = best.ok_or_else(|| {
             HbdError::infeasible(format!(
                 "job needs {needed_nodes} nodes but the cluster cannot provide them under the current fault pattern"
             ))
         })?;
         placement.truncate(job_groups);
         Ok(placement)
+    }
+
+    /// Probes per multisection round of the constraint / job-size searches.
+    pub const SEARCH_PROBES: usize = 4;
+
+    /// Evenly spaced probe points covering `[low, high]`, endpoints included,
+    /// at most [`SEARCH_PROBES`](Self::SEARCH_PROBES) of them, strictly
+    /// increasing.
+    pub(crate) fn probe_ladder(low: usize, high: usize) -> Vec<usize> {
+        debug_assert!(low <= high);
+        let span = high - low + 1;
+        let count = Self::SEARCH_PROBES.min(span);
+        if count <= 1 {
+            return vec![low];
+        }
+        let mut probes: Vec<usize> = (0..count)
+            .map(|i| low + (high - low) * i / (count - 1))
+            .collect();
+        probes.dedup();
+        probes
     }
 
     /// Orders the groups for DP-rank assignment so that groups whose rank-0
@@ -289,6 +365,29 @@ mod tests {
             k: 2,
         };
         assert!(orch.orchestrate(&bad, &FaultSet::new()).is_err());
+    }
+
+    #[test]
+    fn parallel_search_matches_sequential() {
+        let orch = orchestrator();
+        let faults = FaultSet::from_nodes((0..24).map(|i| NodeId(i * 17)));
+        let req = request(400);
+        let seq = orch.orchestrate(&req, &faults).unwrap();
+        let par = orch.orchestrate_par(&req, &faults, 4).unwrap();
+        assert_eq!(seq, par);
+        let wide = orch.orchestrate_par(&req, &faults, 16).unwrap();
+        assert_eq!(seq, wide);
+    }
+
+    #[test]
+    fn probe_ladder_is_sane() {
+        assert_eq!(FatTreeOrchestrator::probe_ladder(3, 3), vec![3]);
+        assert_eq!(FatTreeOrchestrator::probe_ladder(0, 2), vec![0, 1, 2]);
+        let ladder = FatTreeOrchestrator::probe_ladder(0, 68);
+        assert_eq!(ladder.first(), Some(&0));
+        assert_eq!(ladder.last(), Some(&68));
+        assert!(ladder.windows(2).all(|w| w[0] < w[1]));
+        assert!(ladder.len() <= FatTreeOrchestrator::SEARCH_PROBES);
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod deployment;
 pub mod fat_tree;
 pub mod greedy;
 pub mod scheme;
+pub mod search;
 pub mod traffic;
 
 pub use dcn_free::orchestrate_dcn_free;
@@ -32,4 +33,5 @@ pub use deployment::DeploymentStrategy;
 pub use fat_tree::{FatTreeOrchestrator, OrchestrationRequest};
 pub use greedy::greedy_placement;
 pub use scheme::{PlacementScheme, TpGroup};
+pub use search::{max_orchestratable_job, MaxJobReport};
 pub use traffic::{cross_tor_rate, TrafficModel};

@@ -1,0 +1,148 @@
+//! Search for the largest orchestratable job (the capacity-planning question
+//! behind Figs 15 / 17b: "how big a job can this faulty cluster still place?").
+//!
+//! Feasibility of a job size is decided by a full `Orchestration-Fat-Tree`
+//! run, which is expensive; like the constraint search in
+//! [`FatTreeOrchestrator::orchestrate_par`], the job-size search is a
+//! fixed-ladder multisection: every round probes up to
+//! [`FatTreeOrchestrator::SEARCH_PROBES`] evenly spaced job sizes and fans the
+//! independent feasibility checks out over scoped threads. The ladder never
+//! depends on the thread count, so the result is identical for `--threads 1`
+//! and `--threads N`.
+
+use crate::fat_tree::{FatTreeOrchestrator, OrchestrationRequest};
+use crate::scheme::PlacementScheme;
+use hbd_types::par::par_map;
+use topology::FaultSet;
+
+/// The outcome of [`max_orchestratable_job`].
+#[derive(Debug, Clone)]
+pub struct MaxJobReport {
+    /// The largest feasible job size, in nodes (a multiple of
+    /// `nodes_per_group`); zero when not even one TP group fits.
+    pub job_nodes: usize,
+    /// The placement realising that job.
+    pub placement: Option<PlacementScheme>,
+    /// How many feasibility probes (full orchestration runs) the search spent.
+    pub probes: usize,
+}
+
+/// Finds the largest job (in nodes, quantised to whole TP groups) that
+/// `orchestrator` can place under `faults`, fanning the per-round feasibility
+/// probes out over up to `threads` scoped threads.
+pub fn max_orchestratable_job(
+    orchestrator: &FatTreeOrchestrator,
+    nodes_per_group: usize,
+    k: usize,
+    faults: &FaultSet,
+    threads: usize,
+) -> MaxJobReport {
+    let total_groups = orchestrator.fat_tree().nodes() / nodes_per_group.max(1);
+    let try_groups = |groups: usize| -> Option<PlacementScheme> {
+        let request = OrchestrationRequest {
+            job_nodes: groups * nodes_per_group,
+            nodes_per_group,
+            k,
+        };
+        orchestrator.orchestrate(&request, faults).ok()
+    };
+
+    let mut low = 1usize;
+    let mut high = total_groups;
+    let mut best: Option<(usize, PlacementScheme)> = None;
+    let mut probes_spent = 0usize;
+    while low <= high {
+        let probes = FatTreeOrchestrator::probe_ladder(low, high);
+        probes_spent += probes.len();
+        // Feasibility is antitone in the job size: scan the evaluated ladder
+        // for the largest feasible probe.
+        let hit = if threads > 1 {
+            let placements = par_map(threads, &probes, |_, &g| try_groups(g));
+            probes
+                .iter()
+                .zip(placements)
+                .rev()
+                .find_map(|(&g, placement)| placement.map(|p| (g, p)))
+        } else {
+            probes
+                .iter()
+                .rev()
+                .find_map(|&g| try_groups(g).map(|p| (g, p)))
+        };
+        match hit {
+            Some((g, placement)) => {
+                if let Some(&next) = probes.iter().find(|&&p| p > g) {
+                    high = next - 1;
+                }
+                best = Some((g, placement));
+                low = g + 1;
+            }
+            None => {
+                if low <= 1 {
+                    break;
+                }
+                high = low - 1;
+            }
+        }
+    }
+
+    match best {
+        Some((groups, placement)) => MaxJobReport {
+            job_nodes: groups * nodes_per_group,
+            placement: Some(placement),
+            probes: probes_spent,
+        },
+        None => MaxJobReport {
+            job_nodes: 0,
+            placement: None,
+            probes: probes_spent,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbd_types::NodeId;
+    use topology::FatTree;
+
+    fn orchestrator() -> FatTreeOrchestrator {
+        FatTreeOrchestrator::new(FatTree::new(512, 16, 8).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn healthy_cluster_supports_every_group() {
+        let orch = orchestrator();
+        let report = max_orchestratable_job(&orch, 8, 2, &FaultSet::new(), 1);
+        assert_eq!(report.job_nodes, 512);
+        assert!(report.placement.is_some());
+        assert!(report.probes > 0);
+    }
+
+    #[test]
+    fn result_is_maximal_and_thread_count_invariant() {
+        let orch = orchestrator();
+        let faults = FaultSet::from_nodes((0..40).map(|i| NodeId(i * 11)));
+        let seq = max_orchestratable_job(&orch, 8, 2, &faults, 1);
+        let par = max_orchestratable_job(&orch, 8, 2, &faults, 4);
+        assert_eq!(seq.job_nodes, par.job_nodes);
+        assert!(seq.job_nodes > 0);
+        assert!(seq.job_nodes < 512, "40 faulty nodes must cost capacity");
+        // Maximality: one more group must be infeasible.
+        let request = OrchestrationRequest {
+            job_nodes: seq.job_nodes + 8,
+            nodes_per_group: 8,
+            k: 2,
+        };
+        assert!(orch.orchestrate(&request, &faults).is_err());
+    }
+
+    #[test]
+    fn fully_faulty_cluster_supports_nothing() {
+        let orch = orchestrator();
+        let faults = FaultSet::from_nodes((0..512).map(NodeId));
+        let report = max_orchestratable_job(&orch, 8, 2, &faults, 2);
+        assert_eq!(report.job_nodes, 0);
+        assert!(report.placement.is_none());
+    }
+}

@@ -159,7 +159,11 @@ pub enum ArchitectureKind {
 }
 
 /// Common behaviour of every HBD architecture in the evaluation.
-pub trait HbdArchitecture {
+///
+/// `Send + Sync` are supertraits so that `&dyn HbdArchitecture` can be shared
+/// with the scoped fan-out pool (`hbd_types::par`) — every implementor is
+/// plain immutable data.
+pub trait HbdArchitecture: Send + Sync {
     /// Human-readable name, matching the legend strings of the paper's figures.
     fn name(&self) -> &str;
 

@@ -19,4 +19,20 @@ cargo check --examples --benches
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> experiments driver (smoke scale)"
+# Run the full registry at a small scale factor and leave the collated outputs
+# under target/smoke/ (CI uploads them as workflow artifacts).
+mkdir -p target/smoke
+cargo run --release --bin experiments -- \
+  --scale 0.05 --threads 2 \
+  --md target/smoke/EXPERIMENTS.md --out target/smoke/bench_results.json
+
+echo "==> EXPERIMENTS.md freshness"
+# The committed EXPERIMENTS.md must match a full-scale regeneration at the
+# default seed — otherwise an experiment changed without refreshing the
+# tracked artifact (refresh: cargo run --release --bin experiments).
+cargo run --release --bin experiments -- \
+  --md target/smoke/EXPERIMENTS.full.md --out target/smoke/bench_results.full.json
+diff -u EXPERIMENTS.md target/smoke/EXPERIMENTS.full.md
+
 echo "All smoke checks passed."

@@ -1,0 +1,83 @@
+//! Determinism net over the whole experiment harness: every registered
+//! experiment must be (a) seed-stable — two runs with the same seed produce
+//! byte-identical JSON — and (b) thread-count-invariant — `--threads 1` and
+//! `--threads 4` produce byte-identical JSON, which the per-shard RNG streams
+//! of `hbd_types::par` guarantee by construction.
+//!
+//! Runs at a small scale factor so the whole registry stays cheap in debug
+//! builds; determinism holds per (seed, scale) so the property tested is the
+//! same one the full-scale `experiments` driver relies on.
+
+use bench::registry::{self, RunCtx};
+use bench::Table;
+
+/// Scale factor for the sweep sizes: large enough that every experiment
+/// exercises its real code path (multiple trace samples, Monte-Carlo trials,
+/// orchestrator searches), small enough for debug-mode CI.
+const SCALE: f64 = 0.05;
+
+/// Serialises an experiment's output to the exact JSON bytes the harness
+/// would emit.
+fn run_to_json(name: &str, seed: u64, threads: usize) -> String {
+    let experiment = registry::find(name).expect("registered");
+    let ctx = RunCtx {
+        seed,
+        threads,
+        scale: SCALE,
+    };
+    let tables: Vec<serde_json::Value> =
+        (experiment.run)(&ctx).iter().map(Table::to_json).collect();
+    serde_json::to_string_pretty(&serde_json::Value::Array(tables)).expect("serialisable")
+}
+
+#[test]
+fn every_experiment_is_seed_stable_and_thread_count_invariant() {
+    let mut checked = 0;
+    for experiment in registry::all() {
+        let first = run_to_json(experiment.name, 7, 1);
+        let second = run_to_json(experiment.name, 7, 1);
+        assert_eq!(
+            first, second,
+            "experiment '{}' is not deterministic for a fixed seed",
+            experiment.name
+        );
+        let threaded = run_to_json(experiment.name, 7, 4);
+        assert_eq!(
+            first, threaded,
+            "experiment '{}' changes output with the thread count",
+            experiment.name
+        );
+        assert!(
+            !first.is_empty() && first.contains("\"experiment\""),
+            "experiment '{}' produced no tables",
+            experiment.name
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, registry::all().len());
+    assert!(checked >= 25, "the registry lost experiments: {checked}");
+}
+
+#[test]
+fn different_seeds_change_stochastic_experiments() {
+    // Sanity check that the net can actually catch anything: a stochastic
+    // experiment must react to the seed (a constant-output harness would pass
+    // the determinism assertions vacuously).
+    let a = run_to_json("fig14_waste_vs_fault", 7, 1);
+    let b = run_to_json("fig14_waste_vs_fault", 8, 1);
+    assert_ne!(a, b, "fig14 ignored the seed");
+}
+
+#[test]
+fn scale_factor_reaches_the_sweeps() {
+    let experiment = registry::find("fig13_waste_cdf").expect("registered");
+    let small = (experiment.run)(&RunCtx {
+        seed: 7,
+        threads: 1,
+        scale: 0.05,
+    });
+    // Four TP sizes, regardless of scale.
+    assert_eq!(small.len(), 4);
+    // Every architecture row survives scaling.
+    assert_eq!(small[0].rows.len(), 8);
+}
