@@ -19,13 +19,14 @@ use bench::{HarnessArgs, Table, USAGE};
 use std::time::Instant;
 
 const DRIVER_USAGE: &str = "usage: experiments [--seed <u64>] [--threads <n>] [--scale <f64>] \
-     [--json] [--only <substring>] [--md <path>] [--out <path>] [--list]";
+     [--json] [--only <substring>] [--md <path>] [--out <path>] [--bench-json <path>] [--list]";
 
 struct DriverArgs {
     common: HarnessArgs,
     only: Option<String>,
     md_path: String,
     out_path: String,
+    bench_json: Option<String>,
     list: bool,
 }
 
@@ -43,6 +44,7 @@ fn parse_driver_args() -> DriverArgs {
         only: None,
         md_path: "EXPERIMENTS.md".to_string(),
         out_path: "bench_results.json".to_string(),
+        bench_json: None,
         list: false,
     };
     let mut i = 0;
@@ -56,6 +58,9 @@ fn parse_driver_args() -> DriverArgs {
             }
             "--out" => {
                 driver.out_path = require_value(&leftover, &mut i, "--out");
+            }
+            "--bench-json" => {
+                driver.bench_json = Some(require_value(&leftover, &mut i, "--bench-json"));
             }
             "--list" => driver.list = true,
             other => {
@@ -142,10 +147,13 @@ fn main() {
     }
     let total_ms = total_start.elapsed().as_secs_f64() * 1e3;
 
+    let microbenches = load_microbenches(args.bench_json.as_deref());
+
     if args.common.json {
         println!(
             "{}",
-            serde_json::to_string_pretty(&collate_json(&ctx, &runs)).expect("serialisable")
+            serde_json::to_string_pretty(&collate_json(&ctx, &runs, &microbenches))
+                .expect("serialisable")
         );
     }
 
@@ -167,7 +175,8 @@ fn main() {
         &args.out_path,
         format!(
             "{}\n",
-            serde_json::to_string_pretty(&collate_json(&ctx, &runs)).expect("serialisable")
+            serde_json::to_string_pretty(&collate_json(&ctx, &runs, &microbenches))
+                .expect("serialisable")
         ),
     )
     .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out_path));
@@ -180,9 +189,36 @@ fn main() {
     );
 }
 
+/// Reads the JSON-lines file the criterion shim appends to (one record per
+/// micro-benchmark, see `CRITERION_JSON` in `shims/criterion`). A missing or
+/// malformed file is a hard error: the flag promises baselines.
+fn load_microbenches(path: Option<&str>) -> Vec<serde_json::Value> {
+    let Some(path) = path else {
+        return Vec::new();
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read --bench-json {path}: {e}");
+        std::process::exit(2);
+    });
+    text.lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(|line| {
+            serde_json::from_str::<serde_json::Value>(line).unwrap_or_else(|e| {
+                eprintln!("error: malformed record in --bench-json {path}: {e}");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
 /// The machine-readable collation (`bench_results.json`): run parameters,
-/// per-experiment wall-clock, and every table.
-fn collate_json(ctx: &RunCtx, runs: &[ExperimentRun]) -> serde_json::Value {
+/// per-experiment wall-clock, every table, and (with `--bench-json`) the
+/// criterion micro-bench baselines.
+fn collate_json(
+    ctx: &RunCtx,
+    runs: &[ExperimentRun],
+    microbenches: &[serde_json::Value],
+) -> serde_json::Value {
     let experiments: Vec<serde_json::Value> = runs
         .iter()
         .map(|run| {
@@ -201,6 +237,7 @@ fn collate_json(ctx: &RunCtx, runs: &[ExperimentRun]) -> serde_json::Value {
         "scale": ctx.scale,
         "threads": ctx.threads,
         "experiments": experiments,
+        "microbenches": microbenches,
     })
 }
 
@@ -223,6 +260,17 @@ fn render_markdown(ctx: &RunCtx, runs: &[ExperimentRun]) -> String {
         ctx.scale,
         runs.len()
     ));
+    out.push_str(
+        "`bench_results.json` schema: a top-level object with `seed`, `scale` and `threads`\n\
+         (the run parameters), `experiments` — one record per registered experiment with\n\
+         `name`, `group`, `summary`, `wall_ms` (wall-clock of the run, machine-dependent)\n\
+         and `tables` (the same tables as below, each `{experiment, rows}` with one\n\
+         column-name → cell object per row) —\n\
+         and `microbenches`: the criterion micro-bench baselines collected by\n\
+         `cargo bench` with `CRITERION_JSON` set and folded in via `--bench-json`, one\n\
+         record per benchmark with `bench` (label), `mean_ns`, `min_ns` and `samples`\n\
+         (empty when the driver runs without `--bench-json`).\n\n",
+    );
 
     out.push_str("## Index\n\n| experiment | group | summary |\n| --- | --- | --- |\n");
     for run in runs {

@@ -1,0 +1,6 @@
+//! Thin wrapper: runs the registered `ext_interference_vs_jobs` experiment
+//! (see `bench::experiments::ext_interference_vs_jobs`).
+
+fn main() {
+    bench::run_cli("ext_interference_vs_jobs");
+}

@@ -1,0 +1,6 @@
+//! Thin wrapper: runs the registered `ext_multijob_interference` experiment
+//! (see `bench::experiments::ext_multijob_interference`).
+
+fn main() {
+    bench::run_cli("ext_multijob_interference");
+}

@@ -1,0 +1,6 @@
+//! Thin wrapper: runs the registered `ext_pp_traffic` experiment
+//! (see `bench::experiments::ext_pp_traffic`).
+
+fn main() {
+    bench::run_cli("ext_pp_traffic");
+}

@@ -1,0 +1,99 @@
+//! Extension experiment: what PP and CP/SP traffic does to the DCN.
+//!
+//! The paper's Table 3 prices TP/EP inside the HBD; the DCN carries what is
+//! left — DP gradients, PP boundary activations, and (if a job dares) the
+//! Ring-Attention K/V exchange of CP/SP. This harness lowers one 384-node job
+//! under several parallelism plans through the `TrafficMatrix` and replays the
+//! resulting epochs, showing how the traffic mix shifts from a pure DP sync
+//! burst to steady-state PP/CP streams — and why CP/SP volumes are the reason
+//! sequence parallelism must stay inside the HBD.
+
+use crate::registry::RunCtx;
+use crate::{fmt, Table};
+use infinitehbd::dcn::replay_mix;
+use infinitehbd::prelude::*;
+
+pub fn run(ctx: &RunCtx) -> Vec<Table> {
+    let nodes = 512usize;
+    let tree = FatTree::new(nodes, 16, 8).expect("valid fat-tree");
+    let orchestrator = FatTreeOrchestrator::new(tree.clone()).expect("orchestrator");
+    let request = OrchestrationRequest {
+        job_nodes: 384,
+        nodes_per_group: 8,
+        k: 2,
+    };
+    let placement = orchestrator
+        .orchestrate_par(&request, &FaultSet::new(), ctx.threads)
+        .expect("job fits on a healthy cluster");
+    let network = DcnNetwork::new(tree, NetworkParams::non_blocking(16, 4).oversubscribed(4.0))
+        .expect("network");
+
+    let model = ModelConfig::llama31_405b();
+    let comm = CommModel::paper_defaults();
+    // 48 TP groups of 8 nodes × 4 GPUs = TP-32; the plans re-slice the same
+    // 48 groups along DP / PP / CP.
+    let plans: Vec<ParallelismStrategy> = vec![
+        ParallelismStrategy::new(32, 1, 48),
+        ParallelismStrategy::new(32, 4, 12),
+        ParallelismStrategy::new(32, 8, 6),
+        ParallelismStrategy::new(32, 4, 6).with_cp(2),
+        ParallelismStrategy::new(32, 8, 3).with_cp(2),
+    ];
+
+    let header = [
+        "plan",
+        "epochs",
+        "DP GiB",
+        "PP GiB",
+        "CP GiB",
+        "steady (s)",
+        "sync (s)",
+        "iteration (s)",
+    ];
+    let mut rows = Vec::new();
+    for strategy in ctx.select(&plans) {
+        let matrix = TrafficMatrix::of_plan(&model, strategy, &comm);
+        let dimension_gib = |flows: &[infinitehbd::dcn::Flow]| {
+            // `+ 0.0` normalises the empty sum's `-0.0` for display.
+            fmt(flows.iter().map(|f| f.bytes.as_gib()).sum::<f64>() + 0.0, 1)
+        };
+        let shape_fits = "shape matches the placement";
+        let dp_gib = dimension_gib(&matrix.dp_flows(&placement).expect(shape_fits));
+        let pp_gib = dimension_gib(&matrix.pp_flows(&placement).expect(shape_fits));
+        let cp_gib = dimension_gib(
+            &[
+                matrix.cp_flows(&placement).expect(shape_fits),
+                matrix.cp_grad_flows(&placement).expect(shape_fits),
+            ]
+            .concat(),
+        );
+        let job = matrix
+            .lower(&placement, strategy.to_string(), 1)
+            .expect("shape matches the placement");
+        let epoch_labels: Vec<&str> = job.epochs.iter().map(|e| e.label.as_str()).collect();
+        let outcome = replay_mix(&network, std::slice::from_ref(&job)).expect("replay");
+        let time_of = |label: &str| {
+            epoch_labels
+                .iter()
+                .position(|&l| l == label)
+                .and_then(|i| outcome.jobs[0].epoch_times.get(i))
+                .map(|t| fmt(t.value(), 2))
+                .unwrap_or_else(|| "-".to_string())
+        };
+        rows.push(vec![
+            strategy.to_string(),
+            epoch_labels.join("+"),
+            dp_gib,
+            pp_gib,
+            cp_gib,
+            time_of("steady"),
+            time_of("sync"),
+            fmt(outcome.jobs[0].shared_time.value(), 2),
+        ]);
+    }
+    vec![Table::new(
+        "Extension: DCN traffic mix per parallelism plan (384 nodes, TP-32, 4:1 oversubscription)",
+        &header,
+        rows,
+    )]
+}

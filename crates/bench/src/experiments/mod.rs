@@ -7,6 +7,9 @@ pub mod appg_alltoall;
 pub mod appg_alltoall_fastswitch;
 pub mod ext_dcn_congestion;
 pub mod ext_failover_recovery;
+pub mod ext_interference_vs_jobs;
+pub mod ext_multijob_interference;
+pub mod ext_pp_traffic;
 pub mod fig10_11_insertion_loss;
 pub mod fig10b_power;
 pub mod fig12_ber;

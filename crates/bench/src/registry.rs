@@ -138,6 +138,15 @@ pub fn all() -> &'static [Experiment] {
         ext_dcn_congestion
             / "Orchestration (§6.3)"
             / "Flow-level DP AllReduce slowdown vs ToR oversubscription",
+        ext_pp_traffic
+            / "Traffic engine (ext)"
+            / "DCN traffic mix (DP/PP/CP epochs) per parallelism plan",
+        ext_multijob_interference
+            / "Traffic engine (ext)"
+            / "Per-job slowdown and hot links in a 3-job mix on one Fat-Tree",
+        ext_interference_vs_jobs
+            / "Traffic engine (ext)"
+            / "Interference growth vs concurrent job count, per placement policy",
         fig17d_aggregate_cost / "Economics (§6.4)" / "Normalized aggregate cost vs fault ratio",
         table6_cost_power / "Economics (§6.4)" / "Interconnect cost and power per GPU and per GBps",
         table7_waste_bound
@@ -163,7 +172,7 @@ mod tests {
     #[test]
     fn registry_has_all_experiments_with_unique_names() {
         let experiments = all();
-        assert_eq!(experiments.len(), 25);
+        assert_eq!(experiments.len(), 28);
         let mut names: Vec<&str> = experiments.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();

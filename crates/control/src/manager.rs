@@ -1,8 +1,8 @@
 //! The **cluster manager**: the stateful controller that keeps the deployed
 //! fabric converged with the failover planner's target plan.
 //!
-//! §5.2: "At the system level, [the] cluster manager coordinates global control
-//! across the cluster." Here it
+//! §5.2: "At the system level, \[the\] cluster manager coordinates global
+//! control across the cluster." Here it
 //!
 //! 1. tracks the current fault set,
 //! 2. recomputes the target [`RingPlan`] whenever a fault or repair is

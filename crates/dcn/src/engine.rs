@@ -1,0 +1,499 @@
+//! The multi-epoch, multi-job traffic engine.
+//!
+//! [`FlowSimulation`](crate::simulator::FlowSimulation) solves **one** flow
+//! set with **one** max-min allocation; this module replays **several jobs'
+//! epoch cycles concurrently** on the shared fabric. The replay is a
+//! progressive-filling fluid simulation:
+//!
+//! 1. every job exposes the flows of its *current* epoch (a job advances to
+//!    its next epoch only when all flows of the current one complete — the
+//!    barrier semantics of collectives);
+//! 2. the max-min fair allocation of all concurrently live flows is computed
+//!    ([`crate::maxmin`]);
+//! 3. time advances to the next flow completion, remaining volumes are
+//!    debited, and the allocation is re-solved.
+//!
+//! Because rates are re-solved at every completion, a job's epochs stretch
+//! exactly where — and only where — another job's traffic shares a link with
+//! it. Comparing the shared replay against each job's isolated replay yields
+//! the interference metrics of [`MixOutcome`]: per-job slowdown, p99 epoch
+//! stretch, and the link hot-spot profile. This is the shared-fabric
+//! contention regime the paper's placement algorithm is designed to avoid
+//! (§4.3, §6.3): InfiniteHBD confines TP/EP inside the optical HBD, and the
+//! engine quantifies what the *remaining* DP/PP/CP spill-over does to the
+//! electrical DCN when several jobs land on it at once.
+
+use crate::maxmin::max_min_rates;
+use crate::network::DcnNetwork;
+use crate::traffic::JobTraffic;
+use hbd_types::{GBps, Result, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Remaining volume below which a flow counts as complete (bytes). Epoch
+/// volumes are gigabytes-scale, so this absorbs float rounding only.
+const COMPLETE_EPS: f64 = 1e-6;
+
+/// One job's share of a replayed mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobInterference {
+    /// Job name (from [`JobTraffic`]).
+    pub name: String,
+    /// Time the job took in the shared replay.
+    pub shared_time: Seconds,
+    /// Time the same job takes alone on the same network.
+    pub isolated_time: Seconds,
+    /// `shared_time / isolated_time` — 1.0 means the mix did not slow this
+    /// job down at all.
+    pub slowdown: f64,
+    /// Mean per-epoch stretch (shared epoch duration / isolated duration).
+    pub mean_stretch: f64,
+    /// 99th-percentile per-epoch stretch (nearest-rank over all epoch
+    /// instances of the replay).
+    pub p99_stretch: f64,
+    /// Per-epoch-instance durations in the shared replay, in replay order.
+    pub epoch_times: Vec<Seconds>,
+}
+
+/// The outcome of replaying a job mix on a shared DCN.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixOutcome {
+    /// Per-job interference metrics, in input order.
+    pub jobs: Vec<JobInterference>,
+    /// Time until the last job finished.
+    pub makespan: Seconds,
+    /// Peak utilisation (allocated load / capacity) each link reached at any
+    /// point of the shared replay, indexed by link id.
+    pub link_peak_utilization: Vec<f64>,
+}
+
+impl MixOutcome {
+    /// Number of links whose peak utilisation reached `threshold` (e.g. 0.95
+    /// for "ran essentially full at some point").
+    pub fn hot_links(&self, threshold: f64) -> usize {
+        self.link_peak_utilization
+            .iter()
+            .filter(|&&u| u >= threshold)
+            .count()
+    }
+
+    /// Histogram of per-link peak utilisation: `edges` are the right-open
+    /// bucket boundaries, the last bucket catches everything at or above the
+    /// final edge. Links that never carried traffic are excluded.
+    pub fn utilization_histogram(&self, edges: &[f64]) -> Vec<usize> {
+        let mut counts = vec![0usize; edges.len() + 1];
+        for &util in &self.link_peak_utilization {
+            if util <= 0.0 {
+                continue;
+            }
+            let bucket = edges.iter().position(|&e| util < e).unwrap_or(edges.len());
+            counts[bucket] += 1;
+        }
+        counts
+    }
+
+    /// The worst per-job slowdown of the mix (1.0 for an empty mix).
+    pub fn max_slowdown(&self) -> f64 {
+        self.jobs.iter().map(|j| j.slowdown).fold(1.0, f64::max)
+    }
+
+    /// The mean per-job slowdown of the mix (1.0 for an empty mix).
+    pub fn mean_slowdown(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 1.0;
+        }
+        self.jobs.iter().map(|j| j.slowdown).sum::<f64>() / self.jobs.len() as f64
+    }
+}
+
+/// Raw timing of one replay (shared or isolated).
+#[derive(Debug, Clone, PartialEq)]
+struct ReplayTimeline {
+    /// Per job: durations of every epoch instance, in replay order.
+    epoch_times: Vec<Vec<Seconds>>,
+    /// Per job: total active time (sum of its epoch durations).
+    totals: Vec<Seconds>,
+    /// Wall-clock until the last job finished.
+    makespan: Seconds,
+    /// Peak utilisation per link.
+    link_peak_utilization: Vec<f64>,
+}
+
+/// Per-job mutable state of the event loop.
+struct JobState {
+    /// Index of the current epoch instance (`0 .. iterations × epochs`).
+    instance: usize,
+    /// Remaining bytes of the current epoch's flows.
+    remaining: Vec<f64>,
+    /// When the current epoch started.
+    epoch_start: f64,
+    /// Completed epoch durations.
+    durations: Vec<Seconds>,
+    /// When the job finished all instances.
+    finished_at: f64,
+}
+
+/// Replays several jobs' epoch cycles concurrently and reports per-job
+/// interference against their isolated runs.
+///
+/// Deterministic: the replay is a pure, single-threaded fluid computation —
+/// identical inputs give bit-identical outcomes regardless of thread count.
+pub fn replay_mix(network: &DcnNetwork, jobs: &[JobTraffic]) -> Result<MixOutcome> {
+    let shared = replay(network, jobs)?;
+    let mut outcomes = Vec::with_capacity(jobs.len());
+    for (j, job) in jobs.iter().enumerate() {
+        let isolated = replay(network, std::slice::from_ref(job))?;
+        let shared_time = shared.totals[j];
+        let isolated_time = isolated.totals[0];
+        let stretches: Vec<f64> = shared.epoch_times[j]
+            .iter()
+            .zip(&isolated.epoch_times[0])
+            .map(|(s, i)| {
+                if i.value() > 0.0 {
+                    s.value() / i.value()
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        outcomes.push(JobInterference {
+            name: job.name.clone(),
+            shared_time,
+            isolated_time,
+            slowdown: if isolated_time.value() > 0.0 {
+                shared_time.value() / isolated_time.value()
+            } else {
+                1.0
+            },
+            mean_stretch: if stretches.is_empty() {
+                1.0
+            } else {
+                stretches.iter().sum::<f64>() / stretches.len() as f64
+            },
+            p99_stretch: percentile(&stretches, 0.99),
+            epoch_times: shared.epoch_times[j].clone(),
+        });
+    }
+    Ok(MixOutcome {
+        jobs: outcomes,
+        makespan: shared.makespan,
+        link_peak_utilization: shared.link_peak_utilization,
+    })
+}
+
+/// Nearest-rank percentile (`q` in `0..=1`) of an unsorted sample; 1.0 for an
+/// empty sample (the neutral stretch).
+fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 1.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The progressive-filling event loop.
+fn replay(network: &DcnNetwork, jobs: &[JobTraffic]) -> Result<ReplayTimeline> {
+    // Route every epoch template once; instances reuse the routes.
+    let mut routes: Vec<Vec<Vec<Vec<usize>>>> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let mut per_epoch = Vec::with_capacity(job.epochs.len());
+        for epoch in &job.epochs {
+            let mut links = Vec::with_capacity(epoch.flows.len());
+            for flow in &epoch.flows {
+                let route = network.route(flow)?;
+                links.push(route.links.iter().map(|l| l.index()).collect::<Vec<_>>());
+            }
+            per_epoch.push(links);
+        }
+        routes.push(per_epoch);
+    }
+
+    let capacities: Vec<GBps> = network.capacities();
+    let mut peak_util = vec![0.0f64; capacities.len()];
+    let mut now = 0.0f64;
+
+    let mut states: Vec<JobState> = jobs
+        .iter()
+        .map(|_| JobState {
+            instance: 0,
+            remaining: Vec::new(),
+            epoch_start: 0.0,
+            durations: Vec::new(),
+            finished_at: 0.0,
+        })
+        .collect();
+
+    let total_instances = |job: &JobTraffic| -> usize { job.iterations * job.epochs.len() };
+
+    // Loads the next epoch instance of job `j`, completing instantly any
+    // epoch whose flows are all local (they never touch the DCN).
+    let activate =
+        |state: &mut JobState, job: &JobTraffic, routes: &[Vec<Vec<usize>>], now: f64| {
+            while state.instance < total_instances(job) {
+                let epoch = state.instance % job.epochs.len();
+                state.remaining = job.epochs[epoch]
+                    .flows
+                    .iter()
+                    .enumerate()
+                    .map(|(f, flow)| {
+                        if routes[epoch][f].is_empty() {
+                            0.0 // local flow: completes instantly
+                        } else {
+                            flow.bytes.value()
+                        }
+                    })
+                    .collect();
+                if state.remaining.iter().any(|&r| r > COMPLETE_EPS) {
+                    state.epoch_start = now;
+                    return;
+                }
+                // Nothing reaches the DCN: the epoch takes zero time.
+                state.durations.push(Seconds::ZERO);
+                state.instance += 1;
+            }
+            state.finished_at = now;
+        };
+
+    for (j, job) in jobs.iter().enumerate() {
+        activate(&mut states[j], job, &routes[j], now);
+    }
+
+    loop {
+        // Collect the live flows of every active job (routes stay borrowed —
+        // no per-event cloning in this hot loop).
+        let mut flow_owner: Vec<(usize, usize)> = Vec::new();
+        let mut flow_links: Vec<&[usize]> = Vec::new();
+        for (j, job) in jobs.iter().enumerate() {
+            if states[j].instance >= total_instances(job) {
+                continue;
+            }
+            let epoch = states[j].instance % job.epochs.len();
+            for (f, &remaining) in states[j].remaining.iter().enumerate() {
+                if remaining > COMPLETE_EPS {
+                    flow_owner.push((j, f));
+                    flow_links.push(&routes[j][epoch][f]);
+                }
+            }
+        }
+        if flow_owner.is_empty() {
+            break;
+        }
+
+        let rates = max_min_rates(&capacities, &flow_links);
+
+        // Track peak link utilisation under this allocation.
+        let mut loads = vec![0.0f64; capacities.len()];
+        for (links, rate) in flow_links.iter().zip(&rates) {
+            for &l in *links {
+                loads[l] += rate.value();
+            }
+        }
+        for (l, load) in loads.iter().enumerate() {
+            let util = load / capacities[l].value();
+            if util > peak_util[l] {
+                peak_util[l] = util;
+            }
+        }
+
+        // Advance to the earliest completion (rates are bytes/s after the
+        // GBps → bytes conversion).
+        let mut dt = f64::INFINITY;
+        for (i, &(j, f)) in flow_owner.iter().enumerate() {
+            let rate = rates[i].value() * 1e9;
+            if rate > 0.0 {
+                dt = dt.min(states[j].remaining[f] / rate);
+            }
+        }
+        debug_assert!(dt.is_finite(), "live flows must make progress");
+        now += dt;
+        for (i, &(j, f)) in flow_owner.iter().enumerate() {
+            let rate = rates[i].value() * 1e9;
+            let left = states[j].remaining[f] - rate * dt;
+            states[j].remaining[f] = if left <= COMPLETE_EPS { 0.0 } else { left };
+        }
+
+        // Epoch completions.
+        for (j, job) in jobs.iter().enumerate() {
+            if states[j].instance >= total_instances(job) {
+                continue;
+            }
+            if states[j].remaining.iter().all(|&r| r <= COMPLETE_EPS) {
+                let duration = now - states[j].epoch_start;
+                states[j].durations.push(Seconds(duration));
+                states[j].instance += 1;
+                activate(&mut states[j], job, &routes[j], now);
+            }
+        }
+    }
+
+    let epoch_times: Vec<Vec<Seconds>> = states.iter().map(|s| s.durations.clone()).collect();
+    let totals: Vec<Seconds> = epoch_times
+        .iter()
+        .map(|times| Seconds(times.iter().map(|t| t.value()).sum()))
+        .collect();
+    let makespan = states.iter().map(|s| s.finished_at).fold(0.0f64, f64::max);
+    Ok(ReplayTimeline {
+        epoch_times,
+        totals,
+        makespan: Seconds(makespan),
+        link_peak_utilization: peak_util,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::Flow;
+    use crate::network::NetworkParams;
+    use crate::simulator::FlowSimulation;
+    use crate::traffic::{JobTraffic, TrafficEpoch};
+    use hbd_types::{Bytes, NodeId};
+    use topology::FatTree;
+
+    fn network() -> DcnNetwork {
+        let fat_tree = FatTree::new(32, 4, 4).unwrap();
+        DcnNetwork::new(fat_tree, NetworkParams::non_blocking(4, 4)).unwrap()
+    }
+
+    fn job(name: &str, flows: Vec<Flow>, iterations: usize) -> JobTraffic {
+        JobTraffic::new(name, vec![TrafficEpoch::new("sync", flows)], iterations)
+    }
+
+    #[test]
+    fn single_job_single_epoch_matches_the_one_shot_simulation() {
+        let net = network();
+        // Uniform flows: no rate ever changes mid-transfer, so the one-shot
+        // FlowSimulation and the progressive replay agree exactly.
+        let flows = vec![
+            Flow::new(NodeId(1), NodeId(0), Bytes::from_gib(1.0)),
+            Flow::new(NodeId(2), NodeId(0), Bytes::from_gib(1.0)),
+            Flow::new(NodeId(3), NodeId(0), Bytes::from_gib(1.0)),
+        ];
+        let sim = FlowSimulation::run(&net, flows.clone()).unwrap();
+        let report = sim.report(&net);
+        let outcome = replay_mix(&net, &[job("solo", flows, 1)]).unwrap();
+        assert!((outcome.makespan.value() - report.max_completion.value()).abs() < 1e-9);
+        assert!(
+            (outcome.jobs[0].slowdown - 1.0).abs() < 1e-12,
+            "alone = isolated"
+        );
+    }
+
+    #[test]
+    fn progressive_refill_speeds_up_survivors() {
+        let net = network();
+        // Two flows share node 0's down-link; one carries twice the volume.
+        // After the small flow completes, the big one gets the full link, so
+        // it finishes sooner than the one-shot model predicts.
+        let flows = vec![
+            Flow::new(NodeId(1), NodeId(0), Bytes::from_gib(2.0)),
+            Flow::new(NodeId(2), NodeId(0), Bytes::from_gib(1.0)),
+        ];
+        let sim = FlowSimulation::run(&net, flows.clone()).unwrap();
+        let one_shot = sim.report(&net).max_completion.value();
+        let outcome = replay_mix(&net, &[job("refill", flows, 1)]).unwrap();
+        assert!(
+            outcome.makespan.value() < one_shot - 1e-9,
+            "refill must beat the one-shot bound: {} vs {one_shot}",
+            outcome.makespan.value()
+        );
+    }
+
+    #[test]
+    fn disjoint_jobs_do_not_interfere() {
+        let net = network();
+        let a = job(
+            "a",
+            vec![Flow::new(NodeId(0), NodeId(1), Bytes::from_gib(1.0))],
+            2,
+        );
+        let b = job(
+            "b",
+            vec![Flow::new(NodeId(4), NodeId(5), Bytes::from_gib(4.0))],
+            2,
+        );
+        let outcome = replay_mix(&net, &[a, b]).unwrap();
+        for job in &outcome.jobs {
+            assert!((job.slowdown - 1.0).abs() < 1e-9, "{job:?}");
+            assert!((job.p99_stretch - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn colliding_jobs_slow_each_other_down() {
+        let net = network();
+        // Both jobs hammer node 0's down-link.
+        let a = job(
+            "a",
+            vec![Flow::new(NodeId(1), NodeId(0), Bytes::from_gib(1.0))],
+            3,
+        );
+        let b = job(
+            "b",
+            vec![Flow::new(NodeId(2), NodeId(0), Bytes::from_gib(1.0))],
+            3,
+        );
+        let outcome = replay_mix(&net, &[a, b]).unwrap();
+        assert!(outcome.max_slowdown() > 1.5, "{outcome:?}");
+        assert!(outcome.jobs.iter().all(|j| j.p99_stretch > 1.0));
+        // The shared down-link saturated.
+        assert!(outcome.hot_links(0.99) >= 1);
+        let histogram = outcome.utilization_histogram(&[0.5, 0.95]);
+        assert_eq!(histogram.len(), 3);
+        assert!(histogram[2] >= 1);
+    }
+
+    #[test]
+    fn epoch_barriers_are_respected() {
+        let net = network();
+        // Epoch 1 cannot start before epoch 0 finishes, so the two epochs of
+        // one iteration never share the link even though they use the same
+        // endpoints.
+        let epochs = vec![
+            TrafficEpoch::new(
+                "steady",
+                vec![Flow::new(NodeId(0), NodeId(1), Bytes::from_gib(1.0))],
+            ),
+            TrafficEpoch::new(
+                "sync",
+                vec![Flow::new(NodeId(0), NodeId(1), Bytes::from_gib(1.0))],
+            ),
+        ];
+        let traffic = JobTraffic::new("barriers", epochs, 2);
+        let outcome = replay_mix(&net, &[traffic]).unwrap();
+        assert_eq!(outcome.jobs[0].epoch_times.len(), 4);
+        let node_bw = net.params().node_bandwidth.value() * 1e9;
+        let per_epoch = Bytes::from_gib(1.0).value() / node_bw;
+        for time in &outcome.jobs[0].epoch_times {
+            assert!((time.value() - per_epoch).abs() < 1e-9);
+        }
+        assert!((outcome.makespan.value() - 4.0 * per_epoch).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_only_and_empty_jobs_complete_in_zero_time() {
+        let net = network();
+        let local = job(
+            "local",
+            vec![Flow::new(NodeId(3), NodeId(3), Bytes::from_gib(9.0))],
+            2,
+        );
+        let empty = JobTraffic::new("empty", Vec::new(), 3);
+        let outcome = replay_mix(&net, &[local, empty]).unwrap();
+        assert_eq!(outcome.makespan, Seconds::ZERO);
+        for job in &outcome.jobs {
+            assert_eq!(job.shared_time, Seconds::ZERO);
+            assert!((job.slowdown - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 0.99), 1.0);
+        assert_eq!(percentile(&[2.0], 0.99), 2.0);
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 0.5), 50.0);
+    }
+}

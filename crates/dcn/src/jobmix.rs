@@ -1,0 +1,199 @@
+//! Placing several concurrent jobs on one shared Fat-Tree.
+//!
+//! The orchestrator (§4.3) places **one** job against a fault set. Real
+//! clusters run a *mix*: every placed job's nodes are unavailable to the next
+//! one, so later jobs see an increasingly fragmented cluster — exactly the
+//! regime where placement quality decides how much DP/PP traffic spills
+//! across ToRs and collides with the neighbours. This module runs the
+//! orchestrator sequentially over a job list, folding each placement into the
+//! next job's exclusion set, and hands the resulting schemes to the traffic
+//! lowering ([`crate::traffic::TrafficMatrix`]) and the replay engine
+//! ([`crate::engine`]).
+
+use hbd_types::Result;
+use orchestrator::{greedy_placement, FatTreeOrchestrator, OrchestrationRequest, PlacementScheme};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use topology::FaultSet;
+
+/// One job of the mix: a name plus its orchestration request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixJob {
+    /// Job name (carried through lowering into the interference report).
+    pub name: String,
+    /// The job's placement request (scale, TP group size, K-hop reach).
+    pub request: OrchestrationRequest,
+}
+
+impl MixJob {
+    /// Creates a mix entry.
+    pub fn new(name: impl Into<String>, request: OrchestrationRequest) -> Self {
+        MixJob {
+            name: name.into(),
+            request,
+        }
+    }
+}
+
+/// A job successfully placed on the shared fabric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacedJob {
+    /// The job's name.
+    pub name: String,
+    /// Its TP groups, in DP-rank order.
+    pub scheme: PlacementScheme,
+}
+
+/// Places every job of the mix in order, excluding faulty nodes and the nodes
+/// already taken by earlier jobs. Fails if any job cannot be satisfied — the
+/// mix is all-or-nothing, matching a gang-scheduled cluster.
+///
+/// `threads` fans the orchestrator's constraint search out; the resulting
+/// placements are identical for every thread count (see
+/// [`FatTreeOrchestrator::orchestrate_par`]).
+pub fn place_mix(
+    orchestrator: &FatTreeOrchestrator,
+    jobs: &[MixJob],
+    faults: &FaultSet,
+    threads: usize,
+) -> Result<Vec<PlacedJob>> {
+    let mut excluded = faults.clone();
+    let mut placed = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let scheme = orchestrator.orchestrate_par(&job.request, &excluded, threads)?;
+        for group in &scheme.groups {
+            for &node in &group.nodes {
+                excluded.add(node);
+            }
+        }
+        placed.push(PlacedJob {
+            name: job.name.clone(),
+            scheme,
+        });
+    }
+    Ok(placed)
+}
+
+/// The greedy counterpart of [`place_mix`]: every job picks random healthy
+/// nodes (the §6.4 baseline), and — like the optimized path — each placement
+/// is folded into the next job's exclusion set. Jobs the shuffle cannot
+/// satisfy keep whatever partial placement the node pool allowed, matching
+/// [`greedy_placement`]'s semantics.
+pub fn greedy_place_mix<R: Rng + ?Sized>(
+    total_nodes: usize,
+    jobs: &[MixJob],
+    faults: &FaultSet,
+    rng: &mut R,
+) -> Vec<PlacedJob> {
+    let mut excluded = faults.clone();
+    let mut placed = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let scheme = greedy_placement(
+            total_nodes,
+            &excluded,
+            job.request.nodes_per_group,
+            job.request.job_nodes,
+            rng,
+        );
+        for group in &scheme.groups {
+            for &node in &group.nodes {
+                excluded.add(node);
+            }
+        }
+        placed.push(PlacedJob {
+            name: job.name.clone(),
+            scheme,
+        });
+    }
+    placed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbd_types::NodeId;
+    use std::collections::BTreeSet;
+    use topology::FatTree;
+
+    fn orchestrator() -> FatTreeOrchestrator {
+        FatTreeOrchestrator::new(FatTree::new(64, 4, 4).unwrap()).unwrap()
+    }
+
+    fn request(job_nodes: usize) -> OrchestrationRequest {
+        OrchestrationRequest {
+            job_nodes,
+            nodes_per_group: 4,
+            k: 2,
+        }
+    }
+
+    #[test]
+    fn jobs_get_disjoint_placements() {
+        let orch = orchestrator();
+        let jobs = vec![
+            MixJob::new("a", request(16)),
+            MixJob::new("b", request(16)),
+            MixJob::new("c", request(8)),
+        ];
+        let placed = place_mix(&orch, &jobs, &FaultSet::new(), 1).unwrap();
+        assert_eq!(placed.len(), 3);
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+        for job in &placed {
+            for group in &job.scheme.groups {
+                for &node in &group.nodes {
+                    assert!(seen.insert(node), "node {node} placed twice across jobs");
+                }
+            }
+        }
+        assert_eq!(placed[0].scheme.nodes_placed(), 16);
+        assert_eq!(placed[2].scheme.nodes_placed(), 8);
+    }
+
+    #[test]
+    fn faulty_nodes_are_never_placed() {
+        let orch = orchestrator();
+        let faults = FaultSet::from_nodes((0..8).map(NodeId));
+        let placed = place_mix(&orch, &[MixJob::new("a", request(16))], &faults, 1).unwrap();
+        for group in &placed[0].scheme.groups {
+            for &node in &group.nodes {
+                assert!(!faults.is_faulty(node));
+            }
+        }
+    }
+
+    #[test]
+    fn an_oversized_mix_is_rejected() {
+        let orch = orchestrator();
+        let jobs = vec![MixJob::new("a", request(48)), MixJob::new("b", request(32))];
+        assert!(place_mix(&orch, &jobs, &FaultSet::new(), 1).is_err());
+    }
+
+    #[test]
+    fn greedy_mix_placements_are_disjoint_and_exclude_faults() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let faults = FaultSet::from_nodes((0..4).map(NodeId));
+        let jobs = vec![MixJob::new("a", request(16)), MixJob::new("b", request(16))];
+        let placed = greedy_place_mix(64, &jobs, &faults, &mut StdRng::seed_from_u64(9));
+        assert_eq!(placed.len(), 2);
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+        for job in &placed {
+            assert_eq!(job.scheme.nodes_placed(), 16);
+            for group in &job.scheme.groups {
+                for &node in &group.nodes {
+                    assert!(!faults.is_faulty(node));
+                    assert!(seen.insert(node), "node {node} placed twice across jobs");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_placements() {
+        let orch = orchestrator();
+        let jobs = vec![MixJob::new("a", request(24)), MixJob::new("b", request(16))];
+        let one = place_mix(&orch, &jobs, &FaultSet::new(), 1).unwrap();
+        let four = place_mix(&orch, &jobs, &FaultSet::new(), 4).unwrap();
+        assert_eq!(one, four);
+    }
+}

@@ -14,9 +14,11 @@ use hbd_types::GBps;
 /// * `capacities[l]` — capacity of link `l`.
 /// * `flow_links[f]` — the links flow `f` traverses (may be empty for local
 ///   flows, which are then unconstrained and reported as `f64::INFINITY`).
+///   Generic over the route container so hot callers (the replay engine) can
+///   pass borrowed `&[usize]` slices without cloning.
 ///
 /// Returns one rate per flow, in the same order.
-pub fn max_min_rates(capacities: &[GBps], flow_links: &[Vec<usize>]) -> Vec<GBps> {
+pub fn max_min_rates<L: AsRef<[usize]>>(capacities: &[GBps], flow_links: &[L]) -> Vec<GBps> {
     let mut remaining: Vec<f64> = capacities.iter().map(|c| c.value()).collect();
     let mut rates = vec![f64::INFINITY; flow_links.len()];
     let mut frozen = vec![false; flow_links.len()];
@@ -25,7 +27,7 @@ pub fn max_min_rates(capacities: &[GBps], flow_links: &[Vec<usize>]) -> Vec<GBps
     let mut active: Vec<usize> = flow_links
         .iter()
         .enumerate()
-        .filter(|(_, links)| !links.is_empty())
+        .filter(|(_, links)| !links.as_ref().is_empty())
         .map(|(f, _)| f)
         .collect();
 
@@ -33,7 +35,7 @@ pub fn max_min_rates(capacities: &[GBps], flow_links: &[Vec<usize>]) -> Vec<GBps
         // Count active flows per link.
         let mut users = vec![0usize; remaining.len()];
         for &f in &active {
-            for &l in &flow_links[f] {
+            for &l in flow_links[f].as_ref() {
                 users[l] += 1;
             }
         }
@@ -56,12 +58,12 @@ pub fn max_min_rates(capacities: &[GBps], flow_links: &[Vec<usize>]) -> Vec<GBps
         let newly_frozen: Vec<usize> = active
             .iter()
             .copied()
-            .filter(|&f| flow_links[f].contains(&bottleneck_link))
+            .filter(|&f| flow_links[f].as_ref().contains(&bottleneck_link))
             .collect();
         for &f in &newly_frozen {
             rates[f] = share;
             frozen[f] = true;
-            for &l in &flow_links[f] {
+            for &l in flow_links[f].as_ref() {
                 remaining[l] = (remaining[l] - share).max(0.0);
             }
         }
@@ -123,7 +125,7 @@ mod tests {
 
     #[test]
     fn empty_inputs_produce_empty_output() {
-        assert!(max_min_rates(&[], &[]).is_empty());
+        assert!(max_min_rates::<Vec<usize>>(&[], &[]).is_empty());
     }
 
     #[test]

@@ -72,8 +72,9 @@ pub mod prelude {
     };
     pub use cost::{aggregate_cost, AggregateCostInput, ArchitectureBom, NormalizedCost};
     pub use dcn::{
-        dp_ring_flows, CongestionReport, DcnNetwork, Flow, FlowSimulation, NetworkParams,
-        TrafficSpec,
+        dp_ring_flows, greedy_place_mix, place_mix, replay_mix, CongestionReport, DcnNetwork, Flow,
+        FlowSimulation, JobInterference, JobTraffic, LogicalShape, MixJob, MixOutcome,
+        NetworkParams, PlacedJob, TrafficEpoch, TrafficMatrix, TrafficProfile, TrafficSpec,
     };
     pub use fault::{
         convert_8gpu_to_4gpu, FaultEvent, FaultTrace, GeneratorConfig, IidFaultModel,
@@ -84,7 +85,8 @@ pub mod prelude {
         NodeSize, Result, Seconds, ToRId, Watts,
     };
     pub use llmsim::{
-        ModelConfig, ParallelismStrategy, SearchSpace, StrategySearch, TrainingSimulator,
+        CommModel, DcnPairVolumes, ModelConfig, ParallelismStrategy, SearchSpace, StrategySearch,
+        TrainingSimulator,
     };
     pub use ocstrx::{Bundle, OcsTrx, PathId, TrxConfig};
     pub use orchestrator::{

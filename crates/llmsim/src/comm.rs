@@ -22,6 +22,32 @@ use serde::{Deserialize, Serialize};
 /// Bytes per activation / weight element (BF16).
 pub const BYTES_PER_ELEMENT: f64 = 2.0;
 
+/// Per-iteration, per-neighbour-pair DCN volumes of a parallelism plan — the
+/// analytic quantities the `dcn` crate's traffic lowering turns into flows.
+///
+/// Every field is **bytes per direction between one adjacent rank pair per
+/// iteration**; multiplying by the pair count and the two directions recovers
+/// the total volume of the dimension (the invariant the lowering's property
+/// tests assert).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DcnPairVolumes {
+    /// Gradient Ring-AllReduce volume between DP-adjacent ranks:
+    /// `2·(dp−1)/dp` of the per-rank gradient shard.
+    pub dp_pair_bytes: Bytes,
+    /// Boundary activations (forward) / activation gradients (backward)
+    /// between PP-adjacent stages, summed over the iteration's micro-batches.
+    pub pp_pair_bytes: Bytes,
+    /// Ring-Attention K/V exchange between CP-adjacent ranks (forward
+    /// All-Gather plus backward Reduce-Scatter of the same volume), summed
+    /// over the stage's layers and the iteration's micro-batches.
+    pub cp_pair_bytes: Bytes,
+    /// Gradient Ring-AllReduce volume between CP-adjacent ranks: CP ranks
+    /// replicate the weights but compute partial gradients over different
+    /// sequence slices, so the end-of-iteration sync also rings over CP
+    /// (`2·(cp−1)/cp` of the per-rank gradient shard).
+    pub cp_grad_pair_bytes: Bytes,
+}
+
 /// Communication-time model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CommModel {
@@ -144,6 +170,87 @@ impl CommModel {
         );
         ring.cost(grad_bytes, &self.dcn).time.value() * (1.0 - self.dp_overlap)
     }
+
+    /// Per-direction bytes each DP-adjacent rank pair carries per iteration:
+    /// the Ring-AllReduce link volume `2·(dp−1)/dp · shard` of the per-rank
+    /// gradient shard.
+    pub fn dp_pair_bytes(&self, model: &ModelConfig, strategy: &ParallelismStrategy) -> Bytes {
+        if strategy.dp <= 1 {
+            return Bytes(0.0);
+        }
+        let n = strategy.dp as f64;
+        Bytes(2.0 * (n - 1.0) / n * self.gradient_shard_bytes(model, strategy))
+    }
+
+    /// Per-direction bytes each CP-adjacent rank pair carries for the
+    /// gradient sync per iteration. CP replicates the weights, which is
+    /// exactly why the partial gradients (each rank saw only its sequence
+    /// slice) must be reduced across CP too — a second Ring-AllReduce of the
+    /// same shard, `2·(cp−1)/cp · shard` per link.
+    pub fn cp_grad_pair_bytes(&self, model: &ModelConfig, strategy: &ParallelismStrategy) -> Bytes {
+        if strategy.cp <= 1 {
+            return Bytes(0.0);
+        }
+        let n = strategy.cp as f64;
+        Bytes(2.0 * (n - 1.0) / n * self.gradient_shard_bytes(model, strategy))
+    }
+
+    /// The gradient shard one rank holds after TP/PP sharding (BF16).
+    fn gradient_shard_bytes(&self, model: &ModelConfig, strategy: &ParallelismStrategy) -> f64 {
+        model.total_params() / (strategy.tp as f64 * strategy.pp as f64) * BYTES_PER_ELEMENT
+    }
+
+    /// Per-direction bytes each PP-adjacent stage pair carries per iteration:
+    /// one boundary activation per micro-batch forward (and the matching
+    /// gradient backward, which is the opposite direction of the same size).
+    /// CP splits the sequence dimension, so each CP rank ships `1/cp` of the
+    /// boundary tensor.
+    pub fn pp_pair_bytes(&self, model: &ModelConfig, strategy: &ParallelismStrategy) -> Bytes {
+        if strategy.pp <= 1 {
+            return Bytes(0.0);
+        }
+        let microbatches = strategy.microbatches_per_replica(model.global_batch) as f64;
+        let activation = strategy.micro_batch as f64
+            * model.seq_len as f64
+            * model.hidden as f64
+            * BYTES_PER_ELEMENT
+            / strategy.cp as f64;
+        Bytes(microbatches * activation)
+    }
+
+    /// Per-direction bytes each CP-adjacent rank pair carries per iteration:
+    /// per layer and micro-batch, Ring-Attention All-Gathers the K/V shards
+    /// (`(cp−1)` shard-sized steps per link) and Reduce-Scatters the matching
+    /// gradients backward, over the `layers/pp` layers hosted by the stage.
+    pub fn cp_pair_bytes(&self, model: &ModelConfig, strategy: &ParallelismStrategy) -> Bytes {
+        if strategy.cp <= 1 {
+            return Bytes(0.0);
+        }
+        let n = strategy.cp as f64;
+        let microbatches = strategy.microbatches_per_replica(model.global_batch) as f64;
+        let layers_per_stage = model.layers as f64 / strategy.pp as f64;
+        // K and V shards of the sequence slice held by one CP rank.
+        let kv_shard = 2.0
+            * strategy.micro_batch as f64
+            * (model.seq_len as f64 / n)
+            * model.hidden as f64
+            * BYTES_PER_ELEMENT;
+        Bytes(microbatches * layers_per_stage * 2.0 * (n - 1.0) * kv_shard)
+    }
+
+    /// All three per-pair DCN volumes of the plan at once.
+    pub fn dcn_pair_volumes(
+        &self,
+        model: &ModelConfig,
+        strategy: &ParallelismStrategy,
+    ) -> DcnPairVolumes {
+        DcnPairVolumes {
+            dp_pair_bytes: self.dp_pair_bytes(model, strategy),
+            pp_pair_bytes: self.pp_pair_bytes(model, strategy),
+            cp_pair_bytes: self.cp_pair_bytes(model, strategy),
+            cp_grad_pair_bytes: self.cp_grad_pair_bytes(model, strategy),
+        }
+    }
 }
 
 impl Default for CommModel {
@@ -224,6 +331,45 @@ mod tests {
             comm.dp_time_per_iteration(&llama(), &ParallelismStrategy::new(64, 16, 1)),
             0.0
         );
+    }
+
+    #[test]
+    fn dcn_pair_volumes_follow_the_dimension_formulas() {
+        let comm = CommModel::paper_defaults();
+        let model = llama();
+        let strategy = ParallelismStrategy::new(16, 4, 8).with_cp(2);
+        let volumes = comm.dcn_pair_volumes(&model, &strategy);
+
+        // DP: 2·(dp−1)/dp of the gradient shard (params / (tp·pp), BF16).
+        let shard = model.total_params() / (16.0 * 4.0) * BYTES_PER_ELEMENT;
+        assert!((volumes.dp_pair_bytes.value() - 2.0 * 7.0 / 8.0 * shard).abs() < 1.0);
+
+        // PP: microbatches × boundary activation, halved by CP = 2.
+        let microbatches = (model.global_batch / 8) as f64;
+        let activation = model.seq_len as f64 * model.hidden as f64 * BYTES_PER_ELEMENT / 2.0;
+        assert!((volumes.pp_pair_bytes.value() - microbatches * activation).abs() < 1.0);
+
+        // CP: microbatches × layers-per-stage × 2 passes × (cp−1) × K/V shard.
+        let kv_shard = 2.0 * (model.seq_len as f64 / 2.0) * model.hidden as f64 * BYTES_PER_ELEMENT;
+        let expected = microbatches * (model.layers as f64 / 4.0) * 2.0 * 1.0 * kv_shard;
+        assert!((volumes.cp_pair_bytes.value() - expected).abs() < 1.0);
+
+        // CP gradient sync: the same ring formula as DP, over the CP extent.
+        assert!((volumes.cp_grad_pair_bytes.value() - 2.0 * 0.5 * shard).abs() < 1.0);
+
+        // Degenerate dimensions communicate nothing.
+        let flat = ParallelismStrategy::new(16, 1, 1).with_cp(1);
+        let zero = comm.dcn_pair_volumes(&model, &flat);
+        assert_eq!(zero.dp_pair_bytes.value(), 0.0);
+        assert_eq!(zero.pp_pair_bytes.value(), 0.0);
+        assert_eq!(zero.cp_pair_bytes.value(), 0.0);
+        assert_eq!(zero.cp_grad_pair_bytes.value(), 0.0);
+
+        // dp = 1 with cp > 1 still syncs gradients — over the CP ring.
+        let cp_only = ParallelismStrategy::new(16, 4, 1).with_cp(2);
+        let volumes = comm.dcn_pair_volumes(&model, &cp_only);
+        assert_eq!(volumes.dp_pair_bytes.value(), 0.0);
+        assert!(volumes.cp_grad_pair_bytes.value() > 0.0);
     }
 
     #[test]

@@ -17,8 +17,9 @@
 //! * [`compute`] — FLOPs accounting and the GEMM-efficiency degradation that
 //!   penalises very large TP (§6.3: "increasing parallelism splits GEMMs into
 //!   smaller, less efficient tasks"),
-//! * [`comm`] — TP/EP/DP/PP communication volumes (Table 3) and their timing on
-//!   the HBD / DCN links,
+//! * [`comm`] — TP/EP/DP/PP/CP communication volumes (Table 3) and their timing
+//!   on the HBD / DCN links, plus the per-pair DCN volumes
+//!   ([`comm::DcnPairVolumes`]) the `dcn` crate lowers into flow sets,
 //! * [`pipeline`] — the pipeline-bubble model (with virtual pipeline stages),
 //! * [`moe`] — the expert-imbalance straggler model (§2.3, Table 4),
 //! * [`mfu`] — the end-to-end iteration-time and MFU estimate,
@@ -38,7 +39,7 @@ pub mod parallelism;
 pub mod pipeline;
 pub mod search;
 
-pub use comm::CommModel;
+pub use comm::{CommModel, DcnPairVolumes};
 pub use compute::ComputeModel;
 pub use memory::MemoryModel;
 pub use mfu::{MfuEstimate, TrainingSimulator};

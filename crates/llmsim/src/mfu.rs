@@ -85,6 +85,17 @@ impl TrainingSimulator {
             model.experts,
             model.global_batch,
         )?;
+        if strategy.cp > 1 {
+            // The compute/comm/memory models below do not split the sequence
+            // dimension, so a cp > 1 estimate would be internally
+            // inconsistent (halved FLOPs per GPU but full-sequence AllReduce
+            // and activation-memory charges). CP plans are supported by the
+            // DCN traffic lowering (`CommModel::dcn_pair_volumes`), not the
+            // MFU estimator.
+            return Err(HbdError::invalid_config(
+                "the MFU estimator does not model CP/SP; use cp = 1 here",
+            ));
+        }
         if !self.memory.fits(model, strategy, &self.gpu) {
             return Err(HbdError::infeasible(format!(
                 "{strategy} does not fit in {} of HBM",
@@ -201,6 +212,17 @@ mod tests {
             &ParallelismStrategy::new(4, 16, 16).with_vpp(16),
         );
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn cp_plans_are_rejected_until_the_models_split_the_sequence() {
+        // The compute/comm/memory models do not thread CP through, so the
+        // estimator refuses rather than returning inconsistent numbers.
+        let result = simulator().estimate(
+            &ModelConfig::llama31_405b(),
+            &ParallelismStrategy::new(16, 4, 8).with_cp(2),
+        );
+        assert!(matches!(result, Err(HbdError::InvalidConfig { .. })));
     }
 
     #[test]

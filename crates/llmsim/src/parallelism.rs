@@ -1,4 +1,4 @@
-//! The parallelism-strategy space: (TP, PP, DP, EP, virtual pipeline).
+//! The parallelism-strategy space: (TP, PP, DP, CP, EP, virtual pipeline).
 
 use hbd_types::{HbdError, Result};
 use serde::{Deserialize, Serialize};
@@ -13,6 +13,9 @@ pub struct ParallelismStrategy {
     pub pp: usize,
     /// Data-parallel replicas.
     pub dp: usize,
+    /// Context/sequence-parallel group size: ranks that split the sequence
+    /// dimension of one replica (Ring-Attention style). `1` = no CP/SP.
+    pub cp: usize,
     /// Expert-parallel group size (1 = experts are tensor-sharded instead).
     pub ep: usize,
     /// Virtual pipeline stages per physical stage (interleaved schedule).
@@ -29,6 +32,7 @@ impl ParallelismStrategy {
             tp,
             pp,
             dp,
+            cp: 1,
             ep: 1,
             vpp: 1,
             micro_batch: 1,
@@ -41,6 +45,12 @@ impl ParallelismStrategy {
         self
     }
 
+    /// Adds a context/sequence-parallel dimension.
+    pub fn with_cp(mut self, cp: usize) -> Self {
+        self.cp = cp;
+        self
+    }
+
     /// Sets the virtual-pipeline factor.
     pub fn with_vpp(mut self, vpp: usize) -> Self {
         self.vpp = vpp;
@@ -49,7 +59,7 @@ impl ParallelismStrategy {
 
     /// Total GPUs used by the strategy.
     pub fn gpus(&self) -> usize {
-        self.tp * self.pp * self.dp
+        self.tp * self.pp * self.dp * self.cp
     }
 
     /// Micro-batches each data-parallel replica pushes through the pipeline per
@@ -67,7 +77,13 @@ impl ParallelismStrategy {
         experts: usize,
         global_batch: usize,
     ) -> Result<()> {
-        if self.tp == 0 || self.pp == 0 || self.dp == 0 || self.ep == 0 || self.vpp == 0 {
+        if self.tp == 0
+            || self.pp == 0
+            || self.dp == 0
+            || self.cp == 0
+            || self.ep == 0
+            || self.vpp == 0
+        {
             return Err(HbdError::invalid_config(
                 "all parallelism degrees must be positive",
             ));
@@ -77,7 +93,7 @@ impl ParallelismStrategy {
         }
         if self.gpus() != gpus {
             return Err(HbdError::invalid_config(format!(
-                "tp×pp×dp = {} does not equal the cluster size {gpus}",
+                "tp×pp×dp×cp = {} does not equal the cluster size {gpus}",
                 self.gpus()
             )));
         }
@@ -113,7 +129,11 @@ impl ParallelismStrategy {
 
 impl fmt::Display for ParallelismStrategy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "TP{} PP{} DP{} EP{}", self.tp, self.pp, self.dp, self.ep)
+        write!(f, "TP{} PP{} DP{} EP{}", self.tp, self.pp, self.dp, self.ep)?;
+        if self.cp > 1 {
+            write!(f, " CP{}", self.cp)?;
+        }
+        Ok(())
     }
 }
 
@@ -172,5 +192,17 @@ mod tests {
         let strategy = ParallelismStrategy::new(32, 8, 4).with_ep(4).with_vpp(3);
         assert_eq!(strategy.ep, 4);
         assert_eq!(strategy.vpp, 3);
+    }
+
+    #[test]
+    fn cp_scales_the_gpu_count_and_shows_in_display() {
+        let strategy = ParallelismStrategy::new(16, 4, 8).with_cp(2);
+        assert_eq!(strategy.gpus(), 1024);
+        assert_eq!(strategy.to_string(), "TP16 PP4 DP8 EP1 CP2");
+        assert!(strategy.validate(1024, 128, 1, 2048).is_ok());
+        // cp = 0 is rejected like every other zero degree.
+        let mut zero = ParallelismStrategy::new(16, 4, 16);
+        zero.cp = 0;
+        assert!(zero.validate(1024, 128, 1, 2048).is_err());
     }
 }

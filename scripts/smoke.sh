@@ -19,13 +19,26 @@ cargo check --examples --benches
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (rustdoc gate, -D warnings)"
+# Doc rot fails the build: broken intra-doc links or missing docs on public
+# items (every crate opts into #![warn(missing_docs)]) become hard errors.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+echo "==> criterion micro-benches (JSON baselines)"
+# The criterion shim appends one JSON record per benchmark to CRITERION_JSON;
+# CRITERION_SAMPLES keeps the pass cheap. The experiments driver below folds
+# the records into bench_results.json under the "microbenches" key.
+mkdir -p target/smoke
+rm -f target/smoke/criterion.jsonl
+CRITERION_JSON="$PWD/target/smoke/criterion.jsonl" CRITERION_SAMPLES=3 cargo bench -q
+
 echo "==> experiments driver (smoke scale)"
 # Run the full registry at a small scale factor and leave the collated outputs
 # under target/smoke/ (CI uploads them as workflow artifacts).
-mkdir -p target/smoke
 cargo run --release --bin experiments -- \
   --scale 0.05 --threads 2 \
-  --md target/smoke/EXPERIMENTS.md --out target/smoke/bench_results.json
+  --md target/smoke/EXPERIMENTS.md --out target/smoke/bench_results.json \
+  --bench-json target/smoke/criterion.jsonl
 
 echo "==> EXPERIMENTS.md freshness"
 # The committed EXPERIMENTS.md must match a full-scale regeneration at the

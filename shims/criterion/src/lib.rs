@@ -6,6 +6,14 @@
 //! wall-clock measurement loop (warm-up, then a fixed sample budget, report
 //! the mean and minimum). No statistics, no HTML reports, but benches stay
 //! runnable and comparable between commits on the same machine.
+//!
+//! Two environment variables integrate the shim with the experiment harness:
+//!
+//! * `CRITERION_JSON=<path>` — append one JSON object per benchmark
+//!   (`{"bench", "mean_ns", "min_ns", "samples"}`) to `<path>`, which the
+//!   `experiments` driver folds into `bench_results.json` via `--bench-json`;
+//! * `CRITERION_SAMPLES=<n>` — override every benchmark's sample budget
+//!   (used by CI to keep the `cargo bench` pass cheap).
 
 #![forbid(unsafe_code)]
 
@@ -45,12 +53,62 @@ fn report(label: &str, samples: &[Duration]) {
         "{label:<48} mean {mean:>12?}   min {min:>12?}   ({} samples)",
         samples.len()
     );
+    append_json_record(label, samples, mean, min);
+}
+
+/// With `CRITERION_JSON=<path>` set, appends one JSON-lines record per
+/// benchmark so the experiment harness can collate micro-bench baselines into
+/// `bench_results.json`.
+fn append_json_record(label: &str, samples: &[Duration], mean: Duration, min: Duration) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let record = format!(
+        "{{\"bench\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"samples\": {}}}\n",
+        json_escape(label),
+        mean.as_nanos(),
+        min.as_nanos(),
+        samples.len()
+    );
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| std::io::Write::write_all(&mut file, record.as_bytes()));
+    if let Err(error) = result {
+        eprintln!("criterion shim: cannot append to {path}: {error}");
+    }
+}
+
+fn json_escape(text: &str) -> String {
+    let mut escaped = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+            c => escaped.push(c),
+        }
+    }
+    escaped
+}
+
+/// `CRITERION_SAMPLES` overrides every sample budget when set (CI keeps the
+/// bench pass cheap with a small value).
+fn sample_budget_override() -> Option<usize> {
+    std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_budget: usize, mut f: F) {
     let mut bencher = Bencher {
         samples: Vec::new(),
-        sample_budget,
+        sample_budget: sample_budget_override().unwrap_or(sample_budget),
     };
     f(&mut bencher);
     report(label, &bencher.samples);

@@ -109,6 +109,63 @@ fn non_blocking_fabric_makes_placement_irrelevant_for_slowdown() {
 }
 
 #[test]
+fn multijob_mix_is_confined_by_the_optimized_placement() {
+    // Three DP+PP jobs on one 512-node fabric: under the HBD-DCN
+    // orchestration every job stays under its own ToRs, so the engine must
+    // report (near-)isolated performance; the greedy packing of the same jobs
+    // interferes measurably.
+    let (tree, faults, _, mut rng) = scenario(512, 0.05, 7);
+    let orchestrator = FatTreeOrchestrator::new(tree.clone()).expect("orchestrator");
+    let network = DcnNetwork::new(tree, NetworkParams::non_blocking(16, 4).oversubscribed(4.0))
+        .expect("network");
+
+    let model = ModelConfig::llama31_405b();
+    let comm = CommModel::paper_defaults();
+    let plan = ParallelismStrategy::new(32, 4, 2);
+    let matrix = TrafficMatrix::of_plan(&model, &plan, &comm);
+    let request = OrchestrationRequest {
+        job_nodes: 64,
+        nodes_per_group: 8,
+        k: 2,
+    };
+    let mix: Vec<MixJob> = (0..3)
+        .map(|i| MixJob::new(format!("job{i}"), request))
+        .collect();
+
+    let optimized = place_mix(&orchestrator, &mix, &faults, 2).expect("mix fits");
+    let optimized_jobs: Vec<JobTraffic> = optimized
+        .iter()
+        .map(|p| matrix.lower(&p.scheme, p.name.clone(), 2).expect("lower"))
+        .collect();
+    let optimized_outcome = replay_mix(&network, &optimized_jobs).expect("replay");
+
+    let greedy_jobs: Vec<JobTraffic> = greedy_place_mix(512, &mix, &faults, &mut rng)
+        .iter()
+        .map(|p| matrix.lower(&p.scheme, p.name.clone(), 2).expect("lower"))
+        .collect();
+    let greedy_outcome = replay_mix(&network, &greedy_jobs).expect("replay");
+
+    assert!(
+        optimized_outcome.max_slowdown() <= greedy_outcome.max_slowdown() + 1e-9,
+        "optimized {:.3} vs greedy {:.3}",
+        optimized_outcome.max_slowdown(),
+        greedy_outcome.max_slowdown()
+    );
+    assert!(
+        greedy_outcome.max_slowdown() > 1.2,
+        "greedy mixes on a 4:1 fabric must interfere, got {:.3}",
+        greedy_outcome.max_slowdown()
+    );
+    // Slowdown is measured against genuinely equivalent isolated runs: every
+    // job's isolated time is positive and no job is reported faster shared
+    // than alone.
+    for job in optimized_outcome.jobs.iter().chain(&greedy_outcome.jobs) {
+        assert!(job.isolated_time.value() > 0.0);
+        assert!(job.slowdown >= 1.0 - 1e-9, "{job:?}");
+    }
+}
+
+#[test]
 fn cross_tor_byte_fraction_tracks_the_orchestrator_metric() {
     let (tree, faults, request, _) = scenario(512, 0.05, 3);
     let orchestrator = FatTreeOrchestrator::new(tree.clone()).expect("orchestrator");
