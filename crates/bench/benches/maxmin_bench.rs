@@ -1,0 +1,64 @@
+//! Criterion benchmarks for the incremental max-min solver on synthetic
+//! fat-tree routes: flow counts 64 / 512 / 4096, in an aggregated variant
+//! (each node pair carries 8 identical flows — the per-GPU NIC flow regime
+//! where route-class aggregation collapses the problem) and an unaggregated
+//! one (all-distinct pairs, where the incremental bookkeeping does the work).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use infinitehbd::dcn::{max_min_rates, DcnNetwork, Flow, NetworkParams};
+use infinitehbd::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds `flows` synthetic cross-ToR routes on a 4096-node Fat-Tree: `pairs`
+/// distinct endpoint pairs, each replicated `flows / pairs` times.
+fn scenario(flows: usize, pairs: usize) -> (Vec<GBps>, Vec<Vec<usize>>) {
+    let nodes = 4096usize;
+    let tree = FatTree::new(nodes, 16, 8).expect("valid fat-tree");
+    let network = DcnNetwork::new(tree, NetworkParams::non_blocking(16, 4).oversubscribed(4.0))
+        .expect("network");
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut routes = Vec::with_capacity(flows);
+    let copies = flows / pairs;
+    for _ in 0..pairs {
+        let src = NodeId(rng.gen_range(0..nodes));
+        let mut dst = NodeId(rng.gen_range(0..nodes));
+        while dst == src {
+            dst = NodeId(rng.gen_range(0..nodes));
+        }
+        let route = network
+            .route(&Flow::new(src, dst, Bytes::from_gib(1.0)))
+            .expect("routable");
+        let links: Vec<usize> = route.links.iter().map(|l| l.index()).collect();
+        for _ in 0..copies {
+            routes.push(links.clone());
+        }
+    }
+    (network.capacities(), routes)
+}
+
+fn bench_maxmin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxmin");
+    group.sample_size(20);
+    for flows in [64usize, 512, 4096] {
+        group.throughput(Throughput::Elements(flows as u64));
+        // Aggregated: 8 identical flows per pair collapse into one class.
+        let (caps, routes) = scenario(flows, flows / 8);
+        group.bench_with_input(
+            BenchmarkId::new("aggregated", flows),
+            &flows,
+            |bencher, _| bencher.iter(|| black_box(max_min_rates(&caps, &routes))),
+        );
+        // Unaggregated: all-distinct pairs, one class per flow.
+        let (caps, routes) = scenario(flows, flows);
+        group.bench_with_input(
+            BenchmarkId::new("unaggregated", flows),
+            &flows,
+            |bencher, _| bencher.iter(|| black_box(max_min_rates(&caps, &routes))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maxmin);
+criterion_main!(benches);

@@ -19,7 +19,8 @@ use bench::{HarnessArgs, Table, USAGE};
 use std::time::Instant;
 
 const DRIVER_USAGE: &str = "usage: experiments [--seed <u64>] [--threads <n>] [--scale <f64>] \
-     [--json] [--only <substring>] [--md <path>] [--out <path>] [--bench-json <path>] [--list]";
+     [--json] [--only <substring>] [--md <path>] [--out <path>] [--bench-json <path>] \
+     [--compare <old bench_results.json>] [--list]";
 
 struct DriverArgs {
     common: HarnessArgs,
@@ -27,6 +28,7 @@ struct DriverArgs {
     md_path: String,
     out_path: String,
     bench_json: Option<String>,
+    compare: Option<String>,
     list: bool,
 }
 
@@ -45,6 +47,7 @@ fn parse_driver_args() -> DriverArgs {
         md_path: "EXPERIMENTS.md".to_string(),
         out_path: "bench_results.json".to_string(),
         bench_json: None,
+        compare: None,
         list: false,
     };
     let mut i = 0;
@@ -61,6 +64,9 @@ fn parse_driver_args() -> DriverArgs {
             }
             "--bench-json" => {
                 driver.bench_json = Some(require_value(&leftover, &mut i, "--bench-json"));
+            }
+            "--compare" => {
+                driver.compare = Some(require_value(&leftover, &mut i, "--compare"));
             }
             "--list" => driver.list = true,
             other => {
@@ -149,6 +155,10 @@ fn main() {
 
     let microbenches = load_microbenches(args.bench_json.as_deref());
 
+    if let Some(path) = args.compare.as_deref() {
+        print_wall_clock_deltas(path, &runs);
+    }
+
     if args.common.json {
         println!(
             "{}",
@@ -211,6 +221,77 @@ fn load_microbenches(path: Option<&str>) -> Vec<serde_json::Value> {
         .collect()
 }
 
+/// Prints per-experiment wall-clock deltas against an older
+/// `bench_results.json` to stderr. Strictly informational and non-fatal —
+/// wall-clock is machine-dependent, so the report surfaces regressions for a
+/// human (or CI log reader) without gating anything: unreadable or malformed
+/// baselines degrade to a warning.
+fn print_wall_clock_deltas(path: &str, runs: &[ExperimentRun]) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("compare: cannot read {path}: {error} (skipping)");
+            return;
+        }
+    };
+    let old: serde_json::Value = match serde_json::from_str(&text) {
+        Ok(value) => value,
+        Err(error) => {
+            eprintln!("compare: malformed JSON in {path}: {error} (skipping)");
+            return;
+        }
+    };
+    let old_runs: Vec<(&str, f64)> = old
+        .get("experiments")
+        .and_then(|e| e.as_array())
+        .map(|records| {
+            records
+                .iter()
+                .filter_map(|record| {
+                    Some((
+                        record.get("name")?.as_str()?,
+                        record.get("wall_ms")?.as_f64()?,
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    if old_runs.is_empty() {
+        eprintln!("compare: {path} has no experiment wall-clocks (skipping)");
+        return;
+    }
+    eprintln!("compare: wall-clock vs {path} (informational, machine-dependent)");
+    let mut old_total = 0.0;
+    let mut new_total = 0.0;
+    for run in runs {
+        match old_runs.iter().find(|(name, _)| *name == run.name) {
+            Some(&(_, old_ms)) => {
+                let delta = if old_ms > 0.0 {
+                    (run.wall_ms - old_ms) / old_ms * 100.0
+                } else {
+                    0.0
+                };
+                old_total += old_ms;
+                new_total += run.wall_ms;
+                eprintln!(
+                    "  {:28} {:>9.1} -> {:>9.1} ms  {:>+7.1}%",
+                    run.name, old_ms, run.wall_ms, delta
+                );
+            }
+            None => eprintln!("  {:28}       new -> {:>9.1} ms", run.name, run.wall_ms),
+        }
+    }
+    if old_total > 0.0 {
+        eprintln!(
+            "  {:28} {:>9.1} -> {:>9.1} ms  {:>+7.1}%  (experiments present in both)",
+            "total",
+            old_total,
+            new_total,
+            (new_total - old_total) / old_total * 100.0
+        );
+    }
+}
+
 /// The machine-readable collation (`bench_results.json`): run parameters,
 /// per-experiment wall-clock, every table, and (with `--bench-json`) the
 /// criterion micro-bench baselines.
@@ -268,8 +349,11 @@ fn render_markdown(ctx: &RunCtx, runs: &[ExperimentRun]) -> String {
          column-name → cell object per row) —\n\
          and `microbenches`: the criterion micro-bench baselines collected by\n\
          `cargo bench` with `CRITERION_JSON` set and folded in via `--bench-json`, one\n\
-         record per benchmark with `bench` (label), `mean_ns`, `min_ns` and `samples`\n\
-         (empty when the driver runs without `--bench-json`).\n\n",
+         record per benchmark with `bench` (label), `mean_ns`, `min_ns`, `samples` and —\n\
+         for groups that declare a throughput — `throughput_per_sec` / `throughput_unit`\n\
+         (empty when the driver runs without `--bench-json`). `--compare <old json>`\n\
+         additionally prints per-experiment wall-clock deltas against an older\n\
+         `bench_results.json` to stderr (informational only).\n\n",
     );
 
     out.push_str("## Index\n\n| experiment | group | summary |\n| --- | --- | --- |\n");

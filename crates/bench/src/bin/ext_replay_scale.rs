@@ -1,0 +1,6 @@
+//! Thin wrapper: runs the registered `ext_replay_scale` experiment
+//! (see `bench::experiments::ext_replay_scale`).
+
+fn main() {
+    bench::run_cli("ext_replay_scale");
+}

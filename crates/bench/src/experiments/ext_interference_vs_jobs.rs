@@ -9,7 +9,7 @@
 
 use crate::registry::RunCtx;
 use crate::{fmt, Table};
-use infinitehbd::dcn::{greedy_place_mix, place_mix, replay_mix, JobTraffic, MixJob};
+use infinitehbd::dcn::{greedy_place_mix, place_mix, replay_mix_par, JobTraffic, MixJob};
 use infinitehbd::prelude::*;
 
 pub fn run(ctx: &RunCtx) -> Vec<Table> {
@@ -70,7 +70,7 @@ pub fn run(ctx: &RunCtx) -> Vec<Table> {
                         .expect("shape matches the placement")
                 })
                 .collect();
-            let outcome = replay_mix(&network, &jobs).expect("replay");
+            let outcome = replay_mix_par(&network, &jobs, ctx.threads).expect("replay");
             rows.push(vec![
                 count.to_string(),
                 label.to_string(),

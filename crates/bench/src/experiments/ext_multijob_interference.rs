@@ -10,7 +10,7 @@
 
 use crate::registry::RunCtx;
 use crate::{fmt, Table};
-use infinitehbd::dcn::{greedy_place_mix, place_mix, replay_mix, MixJob};
+use infinitehbd::dcn::{greedy_place_mix, place_mix, replay_mix_par, MixJob};
 use infinitehbd::prelude::*;
 
 /// The fixed three-job mix: (name, job nodes, DP, PP).
@@ -101,7 +101,7 @@ pub fn run(ctx: &RunCtx) -> Vec<Table> {
             .iter()
             .map(|(name, scheme)| lower(name, scheme))
             .collect();
-        let outcome = replay_mix(&network, &jobs).expect("replay");
+        let outcome = replay_mix_par(&network, &jobs, ctx.threads).expect("replay");
         for job in &outcome.jobs {
             per_job_rows.push(vec![
                 label.to_string(),

@@ -10,7 +10,7 @@
 
 use crate::registry::RunCtx;
 use crate::{fmt, Table};
-use infinitehbd::dcn::replay_mix;
+use infinitehbd::dcn::replay_mix_par;
 use infinitehbd::prelude::*;
 
 pub fn run(ctx: &RunCtx) -> Vec<Table> {
@@ -71,7 +71,8 @@ pub fn run(ctx: &RunCtx) -> Vec<Table> {
             .lower(&placement, strategy.to_string(), 1)
             .expect("shape matches the placement");
         let epoch_labels: Vec<&str> = job.epochs.iter().map(|e| e.label.as_str()).collect();
-        let outcome = replay_mix(&network, std::slice::from_ref(&job)).expect("replay");
+        let outcome =
+            replay_mix_par(&network, std::slice::from_ref(&job), ctx.threads).expect("replay");
         let time_of = |label: &str| {
             epoch_labels
                 .iter()

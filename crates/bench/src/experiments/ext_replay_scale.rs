@@ -1,0 +1,87 @@
+//! Extension experiment: replay-engine throughput as the job mix grows.
+//!
+//! The multi-job scenario axis (job churn, defragmentation, heterogeneous
+//! mixes) multiplies the number of max-min solves the fluid replay performs,
+//! so the engine's own cost profile — events, full vs. skipped re-solves,
+//! water-filling rounds — is the quantity that gates how far the scenarios
+//! can scale. This sweep grows an optimally placed mix from 2 to 8 identical
+//! jobs on a 768-node Fat-Tree and reports the engine's cost counters
+//! ([`infinitehbd::dcn::ReplayStats`]) plus the *simulated-time* throughput
+//! (epoch instances per simulated second). All columns are derived from the
+//! deterministic fluid model, so the table is seed-stable and
+//! thread-count-invariant; the wall-clock trajectory lives next door in
+//! `bench_results.json` (`wall_ms` per experiment and the `maxmin` criterion
+//! micro-bench), which future `BENCH_*.json` snapshots track.
+
+use crate::registry::RunCtx;
+use crate::{fmt, Table};
+use infinitehbd::dcn::{place_mix, replay_mix_par, JobTraffic, MixJob};
+use infinitehbd::prelude::*;
+
+pub fn run(ctx: &RunCtx) -> Vec<Table> {
+    let nodes = 768usize;
+    let tree = FatTree::new(nodes, 16, 8).expect("valid fat-tree");
+    let orchestrator = FatTreeOrchestrator::new(tree.clone()).expect("orchestrator");
+    let network = DcnNetwork::new(tree, NetworkParams::non_blocking(16, 4).oversubscribed(4.0))
+        .expect("network");
+    let mut rng = ctx.rng();
+    let faults = FaultSet::from_nodes(IidFaultModel::new(nodes, 0.05).sample_exact(&mut rng));
+
+    let model = ModelConfig::llama31_405b();
+    let comm = CommModel::paper_defaults();
+    // Every job: 64 nodes = 8 TP-32 groups, sliced DP-2 × PP-4.
+    let strategy = ParallelismStrategy::new(32, 4, 2);
+    let matrix = TrafficMatrix::of_plan(&model, &strategy, &comm);
+    let request = OrchestrationRequest {
+        job_nodes: 64,
+        nodes_per_group: 8,
+        k: 2,
+    };
+
+    let header = [
+        "jobs",
+        "epoch instances",
+        "events",
+        "full solves",
+        "skipped solves",
+        "rounds/event",
+        "instances per sim-s",
+    ];
+    let mut rows = Vec::new();
+    for &count in ctx.select(&[2usize, 4, 6, 8]) {
+        let requests: Vec<MixJob> = (0..count)
+            .map(|i| MixJob::new(format!("job{i}"), request))
+            .collect();
+        let placements = place_mix(&orchestrator, &requests, &faults, ctx.threads)
+            .expect("mix fits on 768 nodes");
+        let jobs: Vec<JobTraffic> = placements
+            .iter()
+            .map(|p| {
+                matrix
+                    .lower(&p.scheme, p.name.clone(), 4)
+                    .expect("shape matches the placement")
+            })
+            .collect();
+        let outcome = replay_mix_par(&network, &jobs, ctx.threads).expect("replay");
+        let stats = outcome.stats;
+        let throughput = if outcome.makespan.value() > 0.0 {
+            stats.epoch_instances as f64 / outcome.makespan.value()
+        } else {
+            0.0
+        };
+        rows.push(vec![
+            count.to_string(),
+            stats.epoch_instances.to_string(),
+            stats.events.to_string(),
+            stats.full_solves.to_string(),
+            stats.skipped_solves.to_string(),
+            fmt(stats.rounds_per_event(), 2),
+            fmt(throughput, 2),
+        ]);
+    }
+    vec![Table::new(
+        "Extension: replay-engine cost profile vs mix size (768 nodes, 64-node DP2×PP4 jobs, 4:1 oversubscription)",
+        &header,
+        rows,
+    )]
+}

@@ -10,6 +10,7 @@ pub mod ext_failover_recovery;
 pub mod ext_interference_vs_jobs;
 pub mod ext_multijob_interference;
 pub mod ext_pp_traffic;
+pub mod ext_replay_scale;
 pub mod fig10_11_insertion_loss;
 pub mod fig10b_power;
 pub mod fig12_ber;

@@ -147,6 +147,9 @@ pub fn all() -> &'static [Experiment] {
         ext_interference_vs_jobs
             / "Traffic engine (ext)"
             / "Interference growth vs concurrent job count, per placement policy",
+        ext_replay_scale
+            / "Traffic engine (ext)"
+            / "Replay-engine cost counters and throughput vs job-mix size",
         fig17d_aggregate_cost / "Economics (§6.4)" / "Normalized aggregate cost vs fault ratio",
         table6_cost_power / "Economics (§6.4)" / "Interconnect cost and power per GPU and per GBps",
         table7_waste_bound
@@ -172,7 +175,7 @@ mod tests {
     #[test]
     fn registry_has_all_experiments_with_unique_names() {
         let experiments = all();
-        assert_eq!(experiments.len(), 28);
+        assert_eq!(experiments.len(), 29);
         let mut names: Vec<&str> = experiments.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();

@@ -22,10 +22,35 @@
 //! (§4.3, §6.3): InfiniteHBD confines TP/EP inside the optical HBD, and the
 //! engine quantifies what the *remaining* DP/PP/CP spill-over does to the
 //! electrical DCN when several jobs land on it at once.
+//!
+//! # How the event loop stays fast
+//!
+//! The engine is built around the incremental
+//! [`crate::maxmin::MaxMinSolver`] and avoids per-event work
+//! wherever the fluid model provably cannot change:
+//!
+//! * **CSR route tables.** Every epoch *template* is routed once up front into
+//!   a flattened offsets + links array ([`DcnNetwork::route_links_into`]);
+//!   epoch instances borrow `&[usize]` slices out of it — no per-event route
+//!   allocation.
+//! * **Persistent live-flow set.** The live flow list (and its rates) is kept
+//!   between events and compacted in place on completions; it is only rebuilt
+//!   (in canonical job-then-flow order, preserving the exact float summation
+//!   order of the utilisation pass) when an epoch barrier admits new flows.
+//! * **Skipped re-solves.** When the flows completing at an event free only
+//!   links that no surviving flow traverses, the max-min allocation of the
+//!   survivors is unchanged (a link-disjoint component dropped out), so the
+//!   engine reuses the previous rates instead of re-solving — bit-identical
+//!   by the solver's progressive-filling structure. [`ReplayStats`] counts
+//!   how often this fires.
+//! * **Parallel isolated baselines.** The per-job isolated replays that
+//!   [`replay_mix_par`] compares against are independent by construction and
+//!   fan out over [`hbd_types::par`], byte-identical for any thread count.
 
-use crate::maxmin::max_min_rates;
+use crate::maxmin::MaxMinSolver;
 use crate::network::DcnNetwork;
 use crate::traffic::JobTraffic;
+use hbd_types::par::par_try_map;
 use hbd_types::{GBps, Result, Seconds};
 use serde::{Deserialize, Serialize};
 
@@ -54,6 +79,37 @@ pub struct JobInterference {
     pub epoch_times: Vec<Seconds>,
 }
 
+/// Cost counters of one replay — the engine's own performance telemetry
+/// (simulation-deterministic: identical inputs give identical counters).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ReplayStats {
+    /// Completion events processed (each advances time to the next finishing
+    /// flow).
+    pub events: usize,
+    /// Events that re-solved the max-min allocation.
+    pub full_solves: usize,
+    /// Events that reused the previous allocation because the completed flows
+    /// freed only links no surviving flow traverses.
+    pub skipped_solves: usize,
+    /// Water-filling rounds summed over all full solves.
+    pub solver_rounds: usize,
+    /// Epoch instances replayed across all jobs (including zero-time
+    /// local-only epochs).
+    pub epoch_instances: usize,
+}
+
+impl ReplayStats {
+    /// Mean water-filling rounds per completion event (0.0 for an empty
+    /// replay) — the quantity the incremental solver keeps small.
+    pub fn rounds_per_event(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.solver_rounds as f64 / self.events as f64
+        }
+    }
+}
+
 /// The outcome of replaying a job mix on a shared DCN.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MixOutcome {
@@ -64,6 +120,9 @@ pub struct MixOutcome {
     /// Peak utilisation (allocated load / capacity) each link reached at any
     /// point of the shared replay, indexed by link id.
     pub link_peak_utilization: Vec<f64>,
+    /// Cost counters of the shared replay (the isolated baselines are not
+    /// included).
+    pub stats: ReplayStats,
 }
 
 impl MixOutcome {
@@ -116,6 +175,21 @@ struct ReplayTimeline {
     makespan: Seconds,
     /// Peak utilisation per link.
     link_peak_utilization: Vec<f64>,
+    /// Cost counters of the event loop.
+    stats: ReplayStats,
+}
+
+/// Flattened (CSR) routes of one epoch template: flow `f`'s links are
+/// `links[offsets[f]..offsets[f + 1]]`.
+struct EpochRoutes {
+    offsets: Vec<usize>,
+    links: Vec<usize>,
+}
+
+impl EpochRoutes {
+    fn route(&self, f: usize) -> &[usize] {
+        &self.links[self.offsets[f]..self.offsets[f + 1]]
+    }
 }
 
 /// Per-job mutable state of the event loop.
@@ -124,6 +198,8 @@ struct JobState {
     instance: usize,
     /// Remaining bytes of the current epoch's flows.
     remaining: Vec<f64>,
+    /// Flows of the current epoch still above [`COMPLETE_EPS`].
+    live: usize,
     /// When the current epoch started.
     epoch_start: f64,
     /// Completed epoch durations.
@@ -135,26 +211,63 @@ struct JobState {
 /// Replays several jobs' epoch cycles concurrently and reports per-job
 /// interference against their isolated runs.
 ///
-/// Deterministic: the replay is a pure, single-threaded fluid computation —
-/// identical inputs give bit-identical outcomes regardless of thread count.
+/// Deterministic: each replay is a pure fluid computation — identical inputs
+/// give bit-identical outcomes regardless of thread count. Single-threaded
+/// convenience wrapper over [`replay_mix_par`].
 pub fn replay_mix(network: &DcnNetwork, jobs: &[JobTraffic]) -> Result<MixOutcome> {
-    let shared = replay(network, jobs)?;
+    replay_mix_par(network, jobs, 1)
+}
+
+/// [`replay_mix`] with the per-job isolated baseline replays fanned out over
+/// up to `threads` worker threads ([`hbd_types::par`]).
+///
+/// The isolated replays are independent by construction, so the outcome is
+/// byte-identical for any thread count; only wall-clock changes.
+pub fn replay_mix_par(
+    network: &DcnNetwork,
+    jobs: &[JobTraffic],
+    threads: usize,
+) -> Result<MixOutcome> {
+    // One fan-out over N + 1 independent replays: the shared mix (the most
+    // expensive one — every job's events interleaved) plus the N isolated
+    // baselines, so the shared replay overlaps the baselines instead of
+    // serialising in front of them.
+    let mut replay_sets: Vec<&[JobTraffic]> = Vec::with_capacity(jobs.len() + 1);
+    replay_sets.push(jobs);
+    replay_sets.extend(jobs.iter().map(std::slice::from_ref));
+    let mut timelines: Vec<ReplayTimeline> =
+        par_try_map(threads, &replay_sets, |_, set| replay(network, set))?;
+    let shared = timelines.remove(0);
+    let isolated = timelines;
     let mut outcomes = Vec::with_capacity(jobs.len());
-    for (j, job) in jobs.iter().enumerate() {
-        let isolated = replay(network, std::slice::from_ref(job))?;
+    // One scratch pair for all jobs: stretches in replay order (the mean must
+    // sum in that order) and a sorted copy for the percentile.
+    let mut stretches: Vec<f64> = Vec::new();
+    let mut sorted: Vec<f64> = Vec::new();
+    for (j, (job, isolated)) in jobs.iter().zip(&isolated).enumerate() {
         let shared_time = shared.totals[j];
         let isolated_time = isolated.totals[0];
-        let stretches: Vec<f64> = shared.epoch_times[j]
-            .iter()
-            .zip(&isolated.epoch_times[0])
-            .map(|(s, i)| {
-                if i.value() > 0.0 {
-                    s.value() / i.value()
-                } else {
-                    1.0
-                }
-            })
-            .collect();
+        stretches.clear();
+        stretches.extend(
+            shared.epoch_times[j]
+                .iter()
+                .zip(&isolated.epoch_times[0])
+                .map(|(s, i)| {
+                    if i.value() > 0.0 {
+                        s.value() / i.value()
+                    } else {
+                        1.0
+                    }
+                }),
+        );
+        let mean_stretch = if stretches.is_empty() {
+            1.0
+        } else {
+            stretches.iter().sum::<f64>() / stretches.len() as f64
+        };
+        sorted.clear();
+        sorted.extend_from_slice(&stretches);
+        sorted.sort_by(f64::total_cmp);
         outcomes.push(JobInterference {
             name: job.name.clone(),
             shared_time,
@@ -164,12 +277,8 @@ pub fn replay_mix(network: &DcnNetwork, jobs: &[JobTraffic]) -> Result<MixOutcom
             } else {
                 1.0
             },
-            mean_stretch: if stretches.is_empty() {
-                1.0
-            } else {
-                stretches.iter().sum::<f64>() / stretches.len() as f64
-            },
-            p99_stretch: percentile(&stretches, 0.99),
+            mean_stretch,
+            p99_stretch: percentile_sorted(&sorted, 0.99),
             epoch_times: shared.epoch_times[j].clone(),
         });
     }
@@ -177,156 +286,246 @@ pub fn replay_mix(network: &DcnNetwork, jobs: &[JobTraffic]) -> Result<MixOutcom
         jobs: outcomes,
         makespan: shared.makespan,
         link_peak_utilization: shared.link_peak_utilization,
+        stats: shared.stats,
     })
 }
 
-/// Nearest-rank percentile (`q` in `0..=1`) of an unsorted sample; 1.0 for an
-/// empty sample (the neutral stretch).
-fn percentile(samples: &[f64], q: f64) -> f64 {
-    if samples.is_empty() {
+/// Nearest-rank percentile (`q` in `0..=1`) of an already **sorted** sample;
+/// 1.0 for an empty sample (the neutral stretch). Callers keep one sorted
+/// scratch buffer instead of cloning and sorting per call.
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
         return 1.0;
     }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(f64::total_cmp);
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1] || w[1].is_nan()));
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
 }
 
+/// Loads the next epoch instance of job `state`, completing instantly any
+/// epoch whose flows are all local (they never touch the DCN), and registering
+/// the links of the newly live flows in `live_users`.
+fn activate(
+    state: &mut JobState,
+    job: &JobTraffic,
+    routes: &[EpochRoutes],
+    now: f64,
+    live_users: &mut [usize],
+) {
+    while state.instance < job.total_instances() {
+        let epoch = state.instance % job.epochs.len();
+        let epoch_routes = &routes[epoch];
+        state.remaining.clear();
+        state.live = 0;
+        for (f, flow) in job.epochs[epoch].flows.iter().enumerate() {
+            let remaining = if epoch_routes.route(f).is_empty() {
+                0.0 // local flow: completes instantly
+            } else {
+                flow.bytes.value()
+            };
+            if remaining > COMPLETE_EPS {
+                state.live += 1;
+                for &l in epoch_routes.route(f) {
+                    live_users[l] += 1;
+                }
+            }
+            state.remaining.push(remaining);
+        }
+        if state.live > 0 {
+            state.epoch_start = now;
+            return;
+        }
+        // Nothing reaches the DCN: the epoch takes zero time.
+        state.durations.push(Seconds::ZERO);
+        state.instance += 1;
+    }
+    state.finished_at = now;
+}
+
 /// The progressive-filling event loop.
 fn replay(network: &DcnNetwork, jobs: &[JobTraffic]) -> Result<ReplayTimeline> {
-    // Route every epoch template once; instances reuse the routes.
-    let mut routes: Vec<Vec<Vec<Vec<usize>>>> = Vec::with_capacity(jobs.len());
+    // Route every epoch template once into CSR tables; instances borrow the
+    // routes as slices.
+    let mut routes: Vec<Vec<EpochRoutes>> = Vec::with_capacity(jobs.len());
     for job in jobs {
         let mut per_epoch = Vec::with_capacity(job.epochs.len());
         for epoch in &job.epochs {
-            let mut links = Vec::with_capacity(epoch.flows.len());
+            let mut csr = EpochRoutes {
+                offsets: Vec::with_capacity(epoch.flows.len() + 1),
+                links: Vec::new(),
+            };
+            csr.offsets.push(0);
             for flow in &epoch.flows {
-                let route = network.route(flow)?;
-                links.push(route.links.iter().map(|l| l.index()).collect::<Vec<_>>());
+                network.route_links_into(flow, &mut csr.links)?;
+                csr.offsets.push(csr.links.len());
             }
-            per_epoch.push(links);
+            per_epoch.push(csr);
         }
         routes.push(per_epoch);
     }
 
     let capacities: Vec<GBps> = network.capacities();
-    let mut peak_util = vec![0.0f64; capacities.len()];
+    let n_links = capacities.len();
+    let mut peak_util = vec![0.0f64; n_links];
     let mut now = 0.0f64;
+    let mut stats = ReplayStats::default();
 
     let mut states: Vec<JobState> = jobs
         .iter()
         .map(|_| JobState {
             instance: 0,
             remaining: Vec::new(),
+            live: 0,
             epoch_start: 0.0,
             durations: Vec::new(),
             finished_at: 0.0,
         })
         .collect();
 
-    let total_instances = |job: &JobTraffic| -> usize { job.iterations * job.epochs.len() };
-
-    // Loads the next epoch instance of job `j`, completing instantly any
-    // epoch whose flows are all local (they never touch the DCN).
-    let activate =
-        |state: &mut JobState, job: &JobTraffic, routes: &[Vec<Vec<usize>>], now: f64| {
-            while state.instance < total_instances(job) {
-                let epoch = state.instance % job.epochs.len();
-                state.remaining = job.epochs[epoch]
-                    .flows
-                    .iter()
-                    .enumerate()
-                    .map(|(f, flow)| {
-                        if routes[epoch][f].is_empty() {
-                            0.0 // local flow: completes instantly
-                        } else {
-                            flow.bytes.value()
-                        }
-                    })
-                    .collect();
-                if state.remaining.iter().any(|&r| r > COMPLETE_EPS) {
-                    state.epoch_start = now;
-                    return;
-                }
-                // Nothing reaches the DCN: the epoch takes zero time.
-                state.durations.push(Seconds::ZERO);
-                state.instance += 1;
-            }
-            state.finished_at = now;
-        };
+    // Live flows of every link (for the skip-resolve check), the live-flow
+    // scratch set (owner, route, rate — compacted in place on completions,
+    // rebuilt in canonical job-then-flow order on epoch barriers), and the
+    // reusable solver and load buffers.
+    let mut live_users = vec![0usize; n_links];
+    let mut flow_owner: Vec<(usize, usize)> = Vec::new();
+    let mut flow_links: Vec<&[usize]> = Vec::new();
+    let mut rates: Vec<f64> = Vec::new();
+    let mut completed_routes: Vec<&[usize]> = Vec::new();
+    let mut loads = vec![0.0f64; n_links];
+    let mut solver = MaxMinSolver::new();
 
     for (j, job) in jobs.iter().enumerate() {
-        activate(&mut states[j], job, &routes[j], now);
+        activate(&mut states[j], job, &routes[j], now, &mut live_users);
     }
 
+    let mut rebuild = true;
+    let mut resolve = true;
     loop {
-        // Collect the live flows of every active job (routes stay borrowed —
-        // no per-event cloning in this hot loop).
-        let mut flow_owner: Vec<(usize, usize)> = Vec::new();
-        let mut flow_links: Vec<&[usize]> = Vec::new();
-        for (j, job) in jobs.iter().enumerate() {
-            if states[j].instance >= total_instances(job) {
-                continue;
-            }
-            let epoch = states[j].instance % job.epochs.len();
-            for (f, &remaining) in states[j].remaining.iter().enumerate() {
-                if remaining > COMPLETE_EPS {
-                    flow_owner.push((j, f));
-                    flow_links.push(&routes[j][epoch][f]);
+        if rebuild {
+            flow_owner.clear();
+            flow_links.clear();
+            for (j, job) in jobs.iter().enumerate() {
+                if states[j].instance >= job.total_instances() {
+                    continue;
+                }
+                let epoch = states[j].instance % job.epochs.len();
+                let epoch_routes = &routes[j][epoch];
+                for (f, &remaining) in states[j].remaining.iter().enumerate() {
+                    if remaining > COMPLETE_EPS {
+                        flow_owner.push((j, f));
+                        flow_links.push(epoch_routes.route(f));
+                    }
                 }
             }
+            rebuild = false;
+            resolve = true;
         }
         if flow_owner.is_empty() {
             break;
         }
+        stats.events += 1;
 
-        let rates = max_min_rates(&capacities, &flow_links);
+        if resolve {
+            let solved = solver.solve(&capacities, &flow_links);
+            rates.clear();
+            rates.extend_from_slice(solved);
+            stats.full_solves += 1;
+            stats.solver_rounds += solver.last_rounds();
+            resolve = false;
 
-        // Track peak link utilisation under this allocation.
-        let mut loads = vec![0.0f64; capacities.len()];
-        for (links, rate) in flow_links.iter().zip(&rates) {
-            for &l in *links {
-                loads[l] += rate.value();
+            // Track peak link utilisation under the fresh allocation. Skipped
+            // events leave every loaded link's utilisation unchanged (the
+            // completed flows' links carry no survivors), so the pass only
+            // runs here.
+            for load in loads.iter_mut() {
+                *load = 0.0;
             }
-        }
-        for (l, load) in loads.iter().enumerate() {
-            let util = load / capacities[l].value();
-            if util > peak_util[l] {
-                peak_util[l] = util;
+            for (links, rate) in flow_links.iter().zip(&rates) {
+                for &l in *links {
+                    loads[l] += *rate;
+                }
             }
+            for (l, load) in loads.iter().enumerate() {
+                let util = load / capacities[l].value();
+                if util > peak_util[l] {
+                    peak_util[l] = util;
+                }
+            }
+        } else {
+            stats.skipped_solves += 1;
         }
 
         // Advance to the earliest completion (rates are bytes/s after the
         // GBps → bytes conversion).
         let mut dt = f64::INFINITY;
         for (i, &(j, f)) in flow_owner.iter().enumerate() {
-            let rate = rates[i].value() * 1e9;
+            let rate = rates[i] * 1e9;
             if rate > 0.0 {
                 dt = dt.min(states[j].remaining[f] / rate);
             }
         }
         debug_assert!(dt.is_finite(), "live flows must make progress");
         now += dt;
-        for (i, &(j, f)) in flow_owner.iter().enumerate() {
-            let rate = rates[i].value() * 1e9;
-            let left = states[j].remaining[f] - rate * dt;
-            states[j].remaining[f] = if left <= COMPLETE_EPS { 0.0 } else { left };
-        }
 
-        // Epoch completions.
+        // Debit volumes; compact completed flows out of the live set in
+        // place and release their links.
+        completed_routes.clear();
+        let mut write = 0usize;
+        for read in 0..flow_owner.len() {
+            let (j, f) = flow_owner[read];
+            let rate = rates[read] * 1e9;
+            let left = states[j].remaining[f] - rate * dt;
+            if left <= COMPLETE_EPS {
+                states[j].remaining[f] = 0.0;
+                states[j].live -= 1;
+                for &l in flow_links[read] {
+                    live_users[l] -= 1;
+                }
+                completed_routes.push(flow_links[read]);
+            } else {
+                states[j].remaining[f] = left;
+                flow_owner[write] = (j, f);
+                flow_links[write] = flow_links[read];
+                rates[write] = rates[read];
+                write += 1;
+            }
+        }
+        flow_owner.truncate(write);
+        flow_links.truncate(write);
+        rates.truncate(write);
+
+        // Epoch completions (barrier: the next epoch starts only when every
+        // flow of the current one is done).
+        let mut any_transition = false;
         for (j, job) in jobs.iter().enumerate() {
-            if states[j].instance >= total_instances(job) {
+            if states[j].instance >= job.total_instances() {
                 continue;
             }
-            if states[j].remaining.iter().all(|&r| r <= COMPLETE_EPS) {
+            if states[j].live == 0 {
                 let duration = now - states[j].epoch_start;
                 states[j].durations.push(Seconds(duration));
                 states[j].instance += 1;
-                activate(&mut states[j], job, &routes[j], now);
+                activate(&mut states[j], job, &routes[j], now, &mut live_users);
+                any_transition = true;
             }
+        }
+
+        if any_transition {
+            // New flows entered: rebuild the canonical live set and re-solve.
+            rebuild = true;
+        } else if completed_routes
+            .iter()
+            .any(|route| route.iter().any(|&l| live_users[l] > 0))
+        {
+            // A completed flow shared a link with a survivor: the survivors'
+            // allocation can change, re-solve. Otherwise the completions
+            // dropped a link-disjoint component and the previous rates remain
+            // exact.
+            resolve = true;
         }
     }
 
+    stats.epoch_instances = states.iter().map(|s| s.durations.len()).sum();
     let epoch_times: Vec<Vec<Seconds>> = states.iter().map(|s| s.durations.clone()).collect();
     let totals: Vec<Seconds> = epoch_times
         .iter()
@@ -338,6 +537,7 @@ fn replay(network: &DcnNetwork, jobs: &[JobTraffic]) -> Result<ReplayTimeline> {
         totals,
         makespan: Seconds(makespan),
         link_peak_utilization: peak_util,
+        stats,
     })
 }
 
@@ -418,6 +618,34 @@ mod tests {
             assert!((job.slowdown - 1.0).abs() < 1e-9, "{job:?}");
             assert!((job.p99_stretch - 1.0).abs() < 1e-9);
         }
+        assert_eq!(
+            outcome.stats.events,
+            outcome.stats.full_solves + outcome.stats.skipped_solves
+        );
+    }
+
+    #[test]
+    fn disjoint_completions_skip_the_re_solve() {
+        let net = network();
+        // One epoch, two link-disjoint flows of different volume: the small
+        // flow's completion frees links the big one never touches, so the
+        // second event reuses the first event's allocation.
+        let traffic = job(
+            "skip",
+            vec![
+                Flow::new(NodeId(0), NodeId(1), Bytes::from_gib(1.0)),
+                Flow::new(NodeId(4), NodeId(5), Bytes::from_gib(4.0)),
+            ],
+            1,
+        );
+        let outcome = replay_mix(&net, &[traffic]).unwrap();
+        assert_eq!(outcome.stats.events, 2, "{:?}", outcome.stats);
+        assert_eq!(outcome.stats.full_solves, 1, "{:?}", outcome.stats);
+        assert_eq!(outcome.stats.skipped_solves, 1, "{:?}", outcome.stats);
+        // The skipped event still advanced the fluid model correctly.
+        let node_bw = net.params().node_bandwidth.value() * 1e9;
+        let expected = Bytes::from_gib(4.0).value() / node_bw;
+        assert!((outcome.makespan.value() - expected).abs() < 1e-9);
     }
 
     #[test]
@@ -469,6 +697,7 @@ mod tests {
             assert!((time.value() - per_epoch).abs() < 1e-9);
         }
         assert!((outcome.makespan.value() - 4.0 * per_epoch).abs() < 1e-9);
+        assert_eq!(outcome.stats.epoch_instances, 4);
     }
 
     #[test]
@@ -486,14 +715,59 @@ mod tests {
             assert_eq!(job.shared_time, Seconds::ZERO);
             assert!((job.slowdown - 1.0).abs() < 1e-12);
         }
+        assert_eq!(outcome.stats.events, 0);
+        assert_eq!(outcome.stats.epoch_instances, 2);
+    }
+
+    #[test]
+    fn parallel_isolated_baselines_are_thread_count_invariant() {
+        let net = network();
+        let jobs: Vec<JobTraffic> = (0..4)
+            .map(|i| {
+                job(
+                    &format!("job{i}"),
+                    vec![
+                        Flow::new(NodeId(i), NodeId((i + 1) % 8), Bytes::from_gib(1.0)),
+                        Flow::new(NodeId(i + 8), NodeId(0), Bytes::from_gib(2.0)),
+                    ],
+                    3,
+                )
+            })
+            .collect();
+        let single = replay_mix_par(&net, &jobs, 1).unwrap();
+        let wide = replay_mix_par(&net, &jobs, 4).unwrap();
+        let a = serde_json::to_string(&single).unwrap();
+        let b = serde_json::to_string(&wide).unwrap();
+        assert_eq!(a, b, "replay_mix_par must be thread-count invariant");
+        assert_eq!(single, wide);
+    }
+
+    #[test]
+    fn stats_account_for_every_event() {
+        let net = network();
+        let a = job(
+            "a",
+            vec![
+                Flow::new(NodeId(1), NodeId(0), Bytes::from_gib(1.0)),
+                Flow::new(NodeId(2), NodeId(0), Bytes::from_gib(2.0)),
+            ],
+            2,
+        );
+        let outcome = replay_mix(&net, &[a]).unwrap();
+        let stats = outcome.stats;
+        assert_eq!(stats.events, stats.full_solves + stats.skipped_solves);
+        assert!(stats.full_solves >= 1);
+        assert!(stats.solver_rounds >= stats.full_solves);
+        assert!(stats.rounds_per_event() > 0.0);
+        assert_eq!(stats.epoch_instances, 2);
     }
 
     #[test]
     fn percentile_is_nearest_rank() {
-        assert_eq!(percentile(&[], 0.99), 1.0);
-        assert_eq!(percentile(&[2.0], 0.99), 2.0);
+        assert_eq!(percentile_sorted(&[], 0.99), 1.0);
+        assert_eq!(percentile_sorted(&[2.0], 0.99), 2.0);
         let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        assert_eq!(percentile(&v, 0.99), 99.0);
-        assert_eq!(percentile(&v, 0.5), 50.0);
+        assert_eq!(percentile_sorted(&v, 0.99), 99.0);
+        assert_eq!(percentile_sorted(&v, 0.5), 50.0);
     }
 }

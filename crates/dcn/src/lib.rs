@@ -16,16 +16,23 @@
 //!    of [`traffic::dp_ring_flows`] up to the full [`traffic::TrafficMatrix`]
 //!    lowering of an `llmsim` parallelism plan (DP + PP + CP/SP dimensions)
 //!    into per-epoch flow sets,
-//! 3. [`network::DcnNetwork::route`] picks ECMP paths,
+//! 3. [`network::DcnNetwork::route`] picks ECMP paths (the replay engine uses
+//!    the allocation-free [`network::DcnNetwork::route_links_into`] to build
+//!    flattened CSR route tables),
 //! 4. [`maxmin`] computes the max-min fair rate allocation of all concurrent
-//!    flows,
+//!    flows — an incremental, route-class-aggregating solver
+//!    ([`maxmin::MaxMinSolver`]) that is bit-identical to textbook
+//!    progressive filling but re-solves thousands of allocations without
+//!    per-call allocation,
 //! 5. [`simulator::FlowSimulation`] reports completion times, link
 //!    utilisation, and the slowdown relative to an uncongested network for a
 //!    single flow set, and
 //! 6. [`engine::replay_mix`] replays **several jobs' epoch cycles
 //!    concurrently** (placed by [`jobmix::place_mix`]) and reports per-job
-//!    interference: slowdown vs. the isolated run, p99 epoch stretch, and the
-//!    link hot-spot profile.
+//!    interference — slowdown vs. the isolated run, p99 epoch stretch, and
+//!    the link hot-spot profile — plus the engine's own cost counters
+//!    ([`engine::ReplayStats`]); [`engine::replay_mix_par`] fans the
+//!    independent isolated baselines out over `hbd_types::par`.
 //!
 //! The result is an end-to-end ablation path: orchestration quality → cross-ToR
 //! flows → congestion → exposed DP time — now including the multi-job
@@ -42,10 +49,10 @@ pub mod network;
 pub mod simulator;
 pub mod traffic;
 
-pub use engine::{replay_mix, JobInterference, MixOutcome};
+pub use engine::{replay_mix, replay_mix_par, JobInterference, MixOutcome, ReplayStats};
 pub use flow::{Flow, Route};
 pub use jobmix::{greedy_place_mix, place_mix, MixJob, PlacedJob};
-pub use maxmin::max_min_rates;
+pub use maxmin::{max_min_rates, MaxMinSolver};
 pub use network::{DcnLink, DcnNetwork, LinkKind, NetworkParams};
 pub use simulator::{CongestionReport, FlowSimulation};
 pub use traffic::{

@@ -259,22 +259,38 @@ impl DcnNetwork {
 
     /// Routes one flow, returning the directed links it occupies.
     pub fn route(&self, flow: &Flow) -> Result<Route> {
+        let mut links = Vec::new();
+        let distance = self.route_with(flow, |id| links.push(id))?;
+        Ok(Route { links, distance })
+    }
+
+    /// Routes one flow, appending the dense link *indices* of its path (in
+    /// path order) to `out` instead of allocating a [`Route`]. This is the
+    /// allocation-free primitive the replay engine uses to build its flattened
+    /// (CSR) per-epoch route tables; the indices appended are exactly those of
+    /// [`DcnNetwork::route`]'s links.
+    pub fn route_links_into(&self, flow: &Flow, out: &mut Vec<usize>) -> Result<NetworkDistance> {
+        self.route_with(flow, |id| out.push(id.index()))
+    }
+
+    /// Shared routing core: computes the path and emits each link through
+    /// `emit`, in path order.
+    fn route_with(&self, flow: &Flow, mut emit: impl FnMut(LinkId)) -> Result<NetworkDistance> {
         let distance = self.fat_tree.distance(flow.src, flow.dst)?;
-        let links = match distance {
-            NetworkDistance::SameNode => Vec::new(),
+        match distance {
+            NetworkDistance::SameNode => {}
             NetworkDistance::SameToR => {
-                vec![self.node_up(flow.src), self.node_down(flow.dst)]
+                emit(self.node_up(flow.src));
+                emit(self.node_down(flow.dst));
             }
             NetworkDistance::SameAggregationDomain => {
                 let plane = self.ecmp_plane(flow);
                 let src_tor = self.fat_tree.tor_of(flow.src)?;
                 let dst_tor = self.fat_tree.tor_of(flow.dst)?;
-                vec![
-                    self.node_up(flow.src),
-                    self.tor_up(src_tor, plane),
-                    self.tor_down(dst_tor, plane),
-                    self.node_down(flow.dst),
-                ]
+                emit(self.node_up(flow.src));
+                emit(self.tor_up(src_tor, plane));
+                emit(self.tor_down(dst_tor, plane));
+                emit(self.node_down(flow.dst));
             }
             NetworkDistance::CrossCore => {
                 let plane = self.ecmp_plane(flow);
@@ -282,17 +298,15 @@ impl DcnNetwork {
                 let dst_tor = self.fat_tree.tor_of(flow.dst)?;
                 let src_domain = self.fat_tree.aggregation_domain_of(flow.src)?;
                 let dst_domain = self.fat_tree.aggregation_domain_of(flow.dst)?;
-                vec![
-                    self.node_up(flow.src),
-                    self.tor_up(src_tor, plane),
-                    self.agg_up(src_domain, plane),
-                    self.agg_down(dst_domain, plane),
-                    self.tor_down(dst_tor, plane),
-                    self.node_down(flow.dst),
-                ]
+                emit(self.node_up(flow.src));
+                emit(self.tor_up(src_tor, plane));
+                emit(self.agg_up(src_domain, plane));
+                emit(self.agg_down(dst_domain, plane));
+                emit(self.tor_down(dst_tor, plane));
+                emit(self.node_down(flow.dst));
             }
-        };
-        Ok(Route { links, distance })
+        }
+        Ok(distance)
     }
 
     /// Number of ToRs per aggregation domain (used by tests and reports).
@@ -416,6 +430,29 @@ mod tests {
         let mut params = NetworkParams::non_blocking(4, 4);
         params.tor_uplink = GBps(0.0);
         assert!(DcnNetwork::new(fat_tree, params).is_err());
+    }
+
+    #[test]
+    fn route_links_into_matches_route_exactly() {
+        let net = network();
+        let mut flat = Vec::new();
+        // Same node, same ToR, same domain, cross-core — every distance class.
+        for (src, dst) in [(9, 9), (0, 3), (0, 5), (0, 63)] {
+            let flow = Flow::new(NodeId(src), NodeId(dst), Bytes(1.0));
+            let route = net.route(&flow).unwrap();
+            let before = flat.len();
+            let distance = net.route_links_into(&flow, &mut flat).unwrap();
+            assert_eq!(distance, route.distance);
+            let appended: Vec<usize> = flat[before..].to_vec();
+            let expected: Vec<usize> = route.links.iter().map(|l| l.index()).collect();
+            assert_eq!(appended, expected);
+        }
+        // Errors leave the output buffer untouched.
+        let len = flat.len();
+        assert!(net
+            .route_links_into(&Flow::new(NodeId(0), NodeId(99), Bytes(1.0)), &mut flat)
+            .is_err());
+        assert_eq!(flat.len(), len);
     }
 
     #[test]

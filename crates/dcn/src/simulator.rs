@@ -52,10 +52,16 @@ impl FlowSimulation {
             .map(|f| network.route(f))
             .collect::<Result<Vec<_>>>()?;
         let capacities = network.capacities();
-        let flow_links: Vec<Vec<usize>> = routes
-            .iter()
-            .map(|r| r.links.iter().map(|l| l.index()).collect())
-            .collect();
+        // Flatten the routes into CSR storage and hand the solver borrowed
+        // slices — one arena instead of one Vec per flow.
+        let mut flat: Vec<usize> = Vec::new();
+        let mut offsets: Vec<usize> = Vec::with_capacity(routes.len() + 1);
+        offsets.push(0);
+        for route in &routes {
+            flat.extend(route.links.iter().map(|l| l.index()));
+            offsets.push(flat.len());
+        }
+        let flow_links: Vec<&[usize]> = offsets.windows(2).map(|w| &flat[w[0]..w[1]]).collect();
         let rates = max_min_rates(&capacities, &flow_links);
         let completion = flows
             .iter()

@@ -250,6 +250,12 @@ impl JobTraffic {
     pub fn bytes_per_iteration(&self) -> Bytes {
         Bytes(self.epochs.iter().map(|e| e.total_bytes().value()).sum())
     }
+
+    /// Total epoch instances a replay of this job processes
+    /// (`iterations × epochs`).
+    pub fn total_instances(&self) -> usize {
+        self.iterations * self.epochs.len()
+    }
 }
 
 /// The `TrafficMatrix` builder: lowers a parallelism plan over a placement

@@ -95,6 +95,69 @@ proptest! {
         }
     }
 
+    /// Route-class expansion: flows with identical link sets receive
+    /// **bit-identical** rates (the solver groups them into one weighted
+    /// class and expands the class rate back per flow), and duplicating
+    /// flows never breaks capacity feasibility — per-link work is conserved
+    /// at class granularity exactly as at flow granularity.
+    #[test]
+    fn route_classes_expand_to_identical_rates_and_conserve_work(
+        (caps, flows) in arbitrary_scenario(),
+        copies in 2usize..5,
+    ) {
+        // Duplicate every flow `copies` times, interleaved with the originals
+        // so classes are scattered across the input order.
+        let mut duplicated: Vec<Vec<usize>> = Vec::new();
+        for links in &flows {
+            for _ in 0..copies {
+                duplicated.push(links.clone());
+            }
+        }
+        let caps_gbps: Vec<GBps> = caps.iter().copied().map(GBps).collect();
+        let rates = max_min_rates(&caps_gbps, &duplicated);
+
+        // Every member of a class reports the same bits.
+        for (f, group) in rates.chunks(copies).enumerate() {
+            for rate in group {
+                prop_assert_eq!(
+                    rate.value().to_bits(), group[0].value().to_bits(),
+                    "class {} members diverge", f
+                );
+            }
+        }
+        // Work conservation: summing per class (rate × weight) respects every
+        // link capacity, and the global bottleneck stays exactly full.
+        let mut load = vec![0.0f64; caps.len()];
+        for (links, group) in flows.iter().zip(rates.chunks(copies)) {
+            for &l in links {
+                load[l] += group[0].value() * copies as f64;
+            }
+        }
+        for (l, &cap) in caps.iter().enumerate() {
+            prop_assert!(load[l] <= cap * (1.0 + 1e-9) + 1e-6,
+                "link {}: class load {} > cap {}", l, load[l], cap);
+        }
+        let users = |l: usize| flows.iter().filter(|links| links.contains(&l)).count() * copies;
+        let bottleneck = (0..caps.len())
+            .filter(|&l| users(l) > 0)
+            .min_by(|&a, &b| {
+                (caps[a] / users(a) as f64).total_cmp(&(caps[b] / users(b) as f64))
+            });
+        if let Some(l) = bottleneck {
+            // The per-flow debits sum to the full capacity up to rounding.
+            let exact: f64 = duplicated
+                .iter()
+                .zip(&rates)
+                .filter(|(links, _)| links.contains(&l))
+                .map(|(_, r)| r.value())
+                .sum();
+            prop_assert!(
+                (exact - caps[l]).abs() <= caps[l] * 1e-9 + 1e-9,
+                "bottleneck link {}: load {} != capacity {}", l, exact, caps[l]
+            );
+        }
+    }
+
     /// The allocation is a function of each flow's route set, not of the order
     /// the flows are listed in: reversing (and rotating) the flow list yields
     /// the same rate for every flow.

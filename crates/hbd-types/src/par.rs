@@ -103,6 +103,23 @@ where
     })
 }
 
+/// [`par_map`] for fallible work: applies `f(index, &item)` on up to
+/// `threads` workers and collects into `Result<Vec<U>, E>`.
+///
+/// Every item is evaluated (no mid-flight cancellation — the work items this
+/// pool serves are coarse and effect-free), and on failure the error of the
+/// **lowest-indexed** failing item is returned, so the outcome is
+/// deterministic and thread-count-invariant like [`par_map`] itself.
+pub fn par_try_map<T, U, E, F>(threads: usize, items: &[T], f: F) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<U, E> + Sync,
+{
+    par_map(threads, items, f).into_iter().collect()
+}
+
 /// Parallel map over an index range `0..count` (for loops that have no input
 /// slice, e.g. "run `count` Monte-Carlo trials").
 pub fn par_map_range<U, F>(threads: usize, count: usize, f: F) -> Vec<U>
@@ -153,6 +170,24 @@ mod tests {
         for (i, seed) in seeds.iter().enumerate() {
             assert_eq!(*seed, stream_seed(7, i as u64));
         }
+    }
+
+    #[test]
+    fn par_try_map_surfaces_the_lowest_indexed_error() {
+        let items: Vec<i32> = (0..40).collect();
+        let ok: Result<Vec<i32>, String> = par_try_map(4, &items, |_, &x| Ok(x + 1));
+        assert_eq!(ok.unwrap(), (1..=40).collect::<Vec<_>>());
+        let f = |_: usize, &x: &i32| {
+            if x % 10 == 7 {
+                Err(format!("bad {x}"))
+            } else {
+                Ok(x)
+            }
+        };
+        let seq: Result<Vec<i32>, String> = par_try_map(1, &items, f);
+        let par: Result<Vec<i32>, String> = par_try_map(4, &items, f);
+        assert_eq!(seq.unwrap_err(), "bad 7");
+        assert_eq!(par.unwrap_err(), "bad 7");
     }
 
     #[test]

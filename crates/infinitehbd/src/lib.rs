@@ -72,9 +72,10 @@ pub mod prelude {
     };
     pub use cost::{aggregate_cost, AggregateCostInput, ArchitectureBom, NormalizedCost};
     pub use dcn::{
-        dp_ring_flows, greedy_place_mix, place_mix, replay_mix, CongestionReport, DcnNetwork, Flow,
-        FlowSimulation, JobInterference, JobTraffic, LogicalShape, MixJob, MixOutcome,
-        NetworkParams, PlacedJob, TrafficEpoch, TrafficMatrix, TrafficProfile, TrafficSpec,
+        dp_ring_flows, greedy_place_mix, place_mix, replay_mix, replay_mix_par, CongestionReport,
+        DcnNetwork, Flow, FlowSimulation, JobInterference, JobTraffic, LogicalShape, MaxMinSolver,
+        MixJob, MixOutcome, NetworkParams, PlacedJob, ReplayStats, TrafficEpoch, TrafficMatrix,
+        TrafficProfile, TrafficSpec,
     };
     pub use fault::{
         convert_8gpu_to_4gpu, FaultEvent, FaultTrace, GeneratorConfig, IidFaultModel,

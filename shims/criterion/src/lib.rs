@@ -41,7 +41,28 @@ impl Bencher {
     }
 }
 
-fn report(label: &str, samples: &[Duration]) {
+/// Declared per-iteration workload of a benchmark group, used to derive
+/// throughput from the measured mean (API parity with real criterion's
+/// `Throughput`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+impl Throughput {
+    /// `(unit label, amount per iteration)`.
+    fn parts(self) -> (&'static str, u64) {
+        match self {
+            Throughput::Elements(n) => ("elems", n),
+            Throughput::Bytes(n) => ("bytes", n),
+        }
+    }
+}
+
+fn report(label: &str, samples: &[Duration], throughput: Option<Throughput>) {
     if samples.is_empty() {
         println!("{label:<48} (no samples)");
         return;
@@ -49,29 +70,55 @@ fn report(label: &str, samples: &[Duration]) {
     let total: Duration = samples.iter().sum();
     let mean = total / samples.len() as u32;
     let min = samples.iter().min().copied().unwrap_or_default();
-    println!(
-        "{label:<48} mean {mean:>12?}   min {min:>12?}   ({} samples)",
-        samples.len()
-    );
-    append_json_record(label, samples, mean, min);
+    // A mean below the timer resolution would divide to infinity and poison
+    // the JSON record; such benchmarks simply report no throughput.
+    let rate = throughput.filter(|_| mean.as_secs_f64() > 0.0).map(|t| {
+        let (unit, amount) = t.parts();
+        (unit, amount as f64 / mean.as_secs_f64())
+    });
+    match rate {
+        Some((unit, per_sec)) => println!(
+            "{label:<48} mean {mean:>12?}   min {min:>12?}   {per_sec:>12.0} {unit}/s   ({} samples)",
+            samples.len()
+        ),
+        None => println!(
+            "{label:<48} mean {mean:>12?}   min {min:>12?}   ({} samples)",
+            samples.len()
+        ),
+    }
+    append_json_record(label, samples, mean, min, rate);
 }
 
 /// With `CRITERION_JSON=<path>` set, appends one JSON-lines record per
 /// benchmark so the experiment harness can collate micro-bench baselines into
-/// `bench_results.json`.
-fn append_json_record(label: &str, samples: &[Duration], mean: Duration, min: Duration) {
+/// `bench_results.json`. Groups that declared a [`Throughput`] additionally
+/// get a `"throughput_per_sec"` / `"throughput_unit"` pair derived from the
+/// mean.
+fn append_json_record(
+    label: &str,
+    samples: &[Duration],
+    mean: Duration,
+    min: Duration,
+    rate: Option<(&'static str, f64)>,
+) {
     let Ok(path) = std::env::var("CRITERION_JSON") else {
         return;
     };
     if path.is_empty() {
         return;
     }
+    let throughput = rate
+        .map(|(unit, per_sec)| {
+            format!(", \"throughput_per_sec\": {per_sec:.1}, \"throughput_unit\": \"{unit}\"")
+        })
+        .unwrap_or_default();
     let record = format!(
-        "{{\"bench\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"samples\": {}}}\n",
+        "{{\"bench\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"samples\": {}{}}}\n",
         json_escape(label),
         mean.as_nanos(),
         min.as_nanos(),
-        samples.len()
+        samples.len(),
+        throughput
     );
     let result = std::fs::OpenOptions::new()
         .create(true)
@@ -105,13 +152,18 @@ fn sample_budget_override() -> Option<usize> {
         .filter(|&n| n > 0)
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_budget: usize, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_budget: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
     let mut bencher = Bencher {
         samples: Vec::new(),
         sample_budget: sample_budget_override().unwrap_or(sample_budget),
     };
     f(&mut bencher);
-    report(label, &bencher.samples);
+    report(label, &bencher.samples, throughput);
 }
 
 /// The benchmark driver.
@@ -128,7 +180,7 @@ impl Default for Criterion {
 impl Criterion {
     /// Runs a standalone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
-        run_one(id, self.sample_budget, f);
+        run_one(id, self.sample_budget, None, f);
         self
     }
 
@@ -137,6 +189,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_budget: self.sample_budget,
+            throughput: None,
             _criterion: self,
         }
     }
@@ -146,6 +199,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_budget: usize,
+    throughput: Option<Throughput>,
     _criterion: &'a mut Criterion,
 }
 
@@ -156,6 +210,14 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares the per-iteration workload of subsequent benchmarks in the
+    /// group; reported as `<unit>/s` and recorded in the `CRITERION_JSON`
+    /// baselines.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
     /// Runs one benchmark in the group.
     pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
         &mut self,
@@ -163,7 +225,7 @@ impl BenchmarkGroup<'_> {
         f: F,
     ) -> &mut Self {
         let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
-        run_one(&label, self.sample_budget, f);
+        run_one(&label, self.sample_budget, self.throughput, f);
         self
     }
 
@@ -175,7 +237,7 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
-        run_one(&label, self.sample_budget, |b| f(b, input));
+        run_one(&label, self.sample_budget, self.throughput, |b| f(b, input));
         self
     }
 
