@@ -20,7 +20,7 @@ use std::time::Instant;
 
 const DRIVER_USAGE: &str = "usage: experiments [--seed <u64>] [--threads <n>] [--scale <f64>] \
      [--json] [--only <substring>] [--md <path>] [--out <path>] [--bench-json <path>] \
-     [--compare <old bench_results.json>] [--list]";
+     [--compare <old bench_results.json>] [--warn-over <factor>] [--list]";
 
 struct DriverArgs {
     common: HarnessArgs,
@@ -29,6 +29,7 @@ struct DriverArgs {
     out_path: String,
     bench_json: Option<String>,
     compare: Option<String>,
+    warn_over: Option<f64>,
     list: bool,
 }
 
@@ -48,6 +49,7 @@ fn parse_driver_args() -> DriverArgs {
         out_path: "bench_results.json".to_string(),
         bench_json: None,
         compare: None,
+        warn_over: None,
         list: false,
     };
     let mut i = 0;
@@ -67,6 +69,18 @@ fn parse_driver_args() -> DriverArgs {
             }
             "--compare" => {
                 driver.compare = Some(require_value(&leftover, &mut i, "--compare"));
+            }
+            "--warn-over" => {
+                let value = require_value(&leftover, &mut i, "--warn-over");
+                match value.parse::<f64>() {
+                    Ok(factor) if factor >= 1.0 => driver.warn_over = Some(factor),
+                    _ => {
+                        eprintln!(
+                            "error: --warn-over needs a factor >= 1.0, got '{value}'\n{DRIVER_USAGE}"
+                        );
+                        std::process::exit(2);
+                    }
+                }
             }
             "--list" => driver.list = true,
             other => {
@@ -156,7 +170,9 @@ fn main() {
     let microbenches = load_microbenches(args.bench_json.as_deref());
 
     if let Some(path) = args.compare.as_deref() {
-        print_wall_clock_deltas(path, &runs);
+        print_wall_clock_deltas(path, &runs, args.warn_over);
+    } else if args.warn_over.is_some() {
+        eprintln!("warn-over: no --compare baseline given, nothing to check");
     }
 
     if args.common.json {
@@ -226,7 +242,12 @@ fn load_microbenches(path: Option<&str>) -> Vec<serde_json::Value> {
 /// wall-clock is machine-dependent, so the report surfaces regressions for a
 /// human (or CI log reader) without gating anything: unreadable or malformed
 /// baselines degrade to a warning.
-fn print_wall_clock_deltas(path: &str, runs: &[ExperimentRun]) {
+///
+/// With `warn_over = Some(factor)` the report additionally ends with a
+/// visible summary of every experiment whose wall-clock grew to at least
+/// `factor ×` its baseline (still non-fatal; sub-millisecond regressions are
+/// ignored as timer noise).
+fn print_wall_clock_deltas(path: &str, runs: &[ExperimentRun], warn_over: Option<f64>) {
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(error) => {
@@ -263,6 +284,7 @@ fn print_wall_clock_deltas(path: &str, runs: &[ExperimentRun]) {
     eprintln!("compare: wall-clock vs {path} (informational, machine-dependent)");
     let mut old_total = 0.0;
     let mut new_total = 0.0;
+    let mut regressions: Vec<(&str, f64, f64)> = Vec::new();
     for run in runs {
         match old_runs.iter().find(|(name, _)| *name == run.name) {
             Some(&(_, old_ms)) => {
@@ -277,6 +299,14 @@ fn print_wall_clock_deltas(path: &str, runs: &[ExperimentRun]) {
                     "  {:28} {:>9.1} -> {:>9.1} ms  {:>+7.1}%",
                     run.name, old_ms, run.wall_ms, delta
                 );
+                if let Some(factor) = warn_over {
+                    // Sub-millisecond experiments regress by whole factors on
+                    // timer noise alone; only flag measurable growth.
+                    if old_ms > 0.0 && run.wall_ms >= old_ms * factor && run.wall_ms - old_ms >= 1.0
+                    {
+                        regressions.push((run.name, old_ms, run.wall_ms));
+                    }
+                }
             }
             None => eprintln!("  {:28}       new -> {:>9.1} ms", run.name, run.wall_ms),
         }
@@ -289,6 +319,26 @@ fn print_wall_clock_deltas(path: &str, runs: &[ExperimentRun]) {
             new_total,
             (new_total - old_total) / old_total * 100.0
         );
+    }
+    if let Some(factor) = warn_over {
+        if regressions.is_empty() {
+            eprintln!("warn-over: no experiment regressed by {factor}x or more");
+        } else {
+            eprintln!(
+                "warn-over: {} experiment(s) at or over the {factor}x wall-clock threshold \
+                 (non-fatal):",
+                regressions.len()
+            );
+            for (name, old_ms, new_ms) in &regressions {
+                eprintln!(
+                    "  {:28} {:>9.1} -> {:>9.1} ms  ({:.1}x)",
+                    name,
+                    old_ms,
+                    new_ms,
+                    new_ms / old_ms
+                );
+            }
+        }
     }
 }
 
@@ -353,7 +403,9 @@ fn render_markdown(ctx: &RunCtx, runs: &[ExperimentRun]) -> String {
          for groups that declare a throughput — `throughput_per_sec` / `throughput_unit`\n\
          (empty when the driver runs without `--bench-json`). `--compare <old json>`\n\
          additionally prints per-experiment wall-clock deltas against an older\n\
-         `bench_results.json` to stderr (informational only).\n\n",
+         `bench_results.json` to stderr (informational only); `--warn-over <factor>`\n\
+         appends a visible — still non-fatal — summary of the experiments whose\n\
+         wall-clock reached `factor`x their baseline.\n\n",
     );
 
     out.push_str("## Index\n\n| experiment | group | summary |\n| --- | --- | --- |\n");

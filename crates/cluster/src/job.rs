@@ -35,8 +35,7 @@ pub fn max_job_over_trace_par(
 ) -> usize {
     let instants: Vec<(Seconds, Vec<NodeId>)> = trace.sample(samples);
     par_map(threads, &instants, |_, (_, faulty)| {
-        let faults =
-            FaultSet::from_nodes(faulty.iter().copied().filter(|n| n.index() < arch.nodes()));
+        let faults = FaultSet::from_nodes_clamped(arch.nodes(), faulty.iter().copied());
         max_supported_job(arch, &faults, tp_size)
     })
     .into_iter()
@@ -70,8 +69,7 @@ pub fn fault_waiting_rate_par(
     assert!(samples > 0, "need at least one sample");
     let instants: Vec<(Seconds, Vec<NodeId>)> = trace.sample(samples);
     let waiting = par_map(threads, &instants, |_, (_, faulty)| {
-        let faults =
-            FaultSet::from_nodes(faulty.iter().copied().filter(|n| n.index() < arch.nodes()));
+        let faults = FaultSet::from_nodes_clamped(arch.nodes(), faulty.iter().copied());
         max_supported_job(arch, &faults, tp_size) < job_gpus
     })
     .into_iter()

@@ -76,7 +76,7 @@ pub fn waste_vs_fault_ratio_par(
         master_seed,
         threads,
         |faulty, _ratio| {
-            let faults = FaultSet::from_nodes(faulty.iter().copied());
+            let faults = FaultSet::from_nodes_clamped(arch.nodes(), faulty.iter().copied());
             waste_ratio(arch, &faults, tp_size)
         },
     );
@@ -121,8 +121,7 @@ pub fn waste_over_trace_par(
     );
     let instants: Vec<(Seconds, Vec<NodeId>)> = trace.sample(samples);
     par_map(threads, &instants, |_, (t, faulty)| {
-        let faults =
-            FaultSet::from_nodes(faulty.iter().copied().filter(|n| n.index() < arch.nodes()));
+        let faults = FaultSet::from_nodes_clamped(arch.nodes(), faulty.iter().copied());
         WastePoint {
             x: t.value(),
             waste_ratio: waste_ratio(arch, &faults, tp_size),

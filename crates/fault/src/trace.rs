@@ -100,12 +100,40 @@ impl FaultTrace {
     /// Samples the trace at `samples` evenly spaced instants, returning
     /// `(time, faulty node set)` pairs. This is the replay loop every
     /// fault-resilience experiment uses.
+    ///
+    /// Event-driven: instead of scanning every event at every instant
+    /// (O(samples × events)), each event is bucketed into the few instants it
+    /// covers — O(events × instants-per-event + samples). Which instants an
+    /// event covers is decided by the *same* `active_at(t_i)` comparison the
+    /// per-instant scan would make (the arithmetic index range is only a
+    /// conservative pre-filter), so the output is identical to querying
+    /// [`faulty_nodes_at`](Self::faulty_nodes_at) instant by instant.
     pub fn sample(&self, samples: usize) -> Vec<(Seconds, Vec<NodeId>)> {
         assert!(samples > 0, "need at least one sample");
-        (0..samples)
-            .map(|i| {
-                let t = Seconds(self.duration.value() * i as f64 / samples as f64);
-                (t, self.faulty_nodes_at(t))
+        let duration = self.duration.value();
+        let instant = |i: usize| Seconds(duration * i as f64 / samples as f64);
+        let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); samples];
+        for event in &self.events {
+            // Conservative candidate range around [start, end), padded by one
+            // instant on each side against floating-point rounding; the exact
+            // `active_at` test below makes the final call.
+            let lo = (event.start.value() * samples as f64 / duration).floor() as usize;
+            let lo = lo.saturating_sub(1);
+            let hi = (event.end.value() * samples as f64 / duration).ceil() as usize;
+            let hi = hi.saturating_add(1).min(samples);
+            for (i, bucket) in buckets.iter_mut().enumerate().take(hi).skip(lo) {
+                if event.active_at(instant(i)) {
+                    bucket.push(event.node);
+                }
+            }
+        }
+        buckets
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut nodes)| {
+                nodes.sort();
+                nodes.dedup();
+                (instant(i), nodes)
             })
             .collect()
     }
@@ -205,6 +233,35 @@ mod tests {
         assert_eq!(samples.len(), 10);
         assert_eq!(samples[0].0, Seconds(0.0));
         assert!(samples[9].0.value() < 1000.0);
+    }
+
+    #[test]
+    fn event_driven_sampling_matches_per_instant_queries() {
+        // The bucketed sample() must agree exactly with querying
+        // faulty_nodes_at at every instant, including at event boundaries
+        // that coincide with sample instants (t = 100 is active, t = 300 is
+        // not: [start, end) semantics).
+        let trace = FaultTrace::new(
+            10,
+            Seconds(1000.0),
+            vec![
+                FaultEvent::new(NodeId(2), Seconds(100.0), Seconds(300.0)),
+                FaultEvent::new(NodeId(5), Seconds(250.0), Seconds(600.0)),
+                FaultEvent::new(NodeId(2), Seconds(700.0), Seconds(900.0)),
+                FaultEvent::new(NodeId(5), Seconds(0.0), Seconds(1000.0)),
+                FaultEvent::new(NodeId(9), Seconds(500.0), Seconds(500.0)),
+            ],
+        )
+        .unwrap();
+        for samples in [1usize, 7, 10, 100, 348] {
+            let sampled = trace.sample(samples);
+            assert_eq!(sampled.len(), samples);
+            for (i, (t, nodes)) in sampled.iter().enumerate() {
+                let expect_t = Seconds(1000.0 * i as f64 / samples as f64);
+                assert_eq!(*t, expect_t);
+                assert_eq!(nodes, &trace.faulty_nodes_at(*t), "instant {t}");
+            }
+        }
     }
 
     #[test]

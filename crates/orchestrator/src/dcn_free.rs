@@ -3,17 +3,63 @@
 //! Without DCN considerations, placing TP groups on InfiniteHBD is simple:
 //!
 //! 1. remove the faulty nodes from the K-Hop graph,
-//! 2. find the connected components of the healthy subgraph with a DFS,
+//! 2. find the connected components of the healthy subgraph,
 //! 3. sort each component in HBD (deployment) order, and
 //! 4. cut every component into consecutive runs of `m = TP / R` nodes.
 //!
 //! Because each component is a contiguous stretch of the K-Hop line (faults of
 //! fewer than `K` consecutive nodes do not disconnect it), every emitted run is
 //! ring-formable via the intra-node loopback of its two end bundles.
+//!
+//! The paper phrases step 2 as a DFS over the healthy subgraph, but on a K-Hop
+//! line the components are simply the maximal healthy runs not severed by `K`
+//! or more consecutive faults — so the implementation is a single linear scan
+//! ([`topology::runscan`]) that cuts groups as it walks, with no graph, no
+//! DFS and no per-probe allocations. The original graph + DFS formulation is
+//! kept below as a `#[cfg(test)]` oracle and the two are pinned to each other
+//! bit-for-bit (same groups, same nodes, same order) by proptests.
 
 use crate::scheme::{PlacementScheme, TpGroup};
 use hbd_types::NodeId;
-use topology::{FaultSet, NodeGraph};
+use topology::runscan::{scan_khop_runs, RunSink};
+use topology::FaultSet;
+
+/// A [`RunSink`] that cuts the healthy runs into TP groups of `m` nodes as
+/// the scan progresses: complete groups are emitted greedily in scan order;
+/// the incomplete remainder of a run is discarded when the run ends.
+pub(crate) struct GroupCutter {
+    nodes_per_group: usize,
+    current: Vec<NodeId>,
+    /// The completed groups, in scan order.
+    pub(crate) scheme: PlacementScheme,
+}
+
+impl GroupCutter {
+    pub(crate) fn new(nodes_per_group: usize) -> Self {
+        assert!(nodes_per_group > 0, "TP groups need at least one node");
+        GroupCutter {
+            nodes_per_group,
+            current: Vec::with_capacity(nodes_per_group),
+            scheme: PlacementScheme::new(),
+        }
+    }
+}
+
+impl RunSink<NodeId> for GroupCutter {
+    fn healthy(&mut self, node: NodeId) {
+        self.current.push(node);
+        if self.current.len() == self.nodes_per_group {
+            let group =
+                std::mem::replace(&mut self.current, Vec::with_capacity(self.nodes_per_group));
+            self.scheme.push(TpGroup::new(group));
+        }
+    }
+
+    fn cut(&mut self) {
+        // The run ended with an incomplete group: those nodes are wasted.
+        self.current.clear();
+    }
+}
 
 /// Runs Algorithm 2 over an explicit node ordering.
 ///
@@ -31,6 +77,28 @@ pub fn orchestrate_dcn_free(
     faults: &FaultSet,
     nodes_per_group: usize,
 ) -> PlacementScheme {
+    let mut cutter = GroupCutter::new(nodes_per_group);
+    scan_khop_runs(
+        order.iter().copied(),
+        k,
+        |node| faults.is_faulty(*node),
+        &mut cutter,
+    );
+    cutter.scheme
+}
+
+/// The original graph + DFS formulation of Algorithm 2, kept as the test
+/// oracle for the linear-scan fast path (see the module docs and the
+/// oracle-vs-fast-solver pattern in `ROADMAP.md`).
+#[cfg(test)]
+pub(crate) fn orchestrate_dcn_free_graph_oracle(
+    order: &[NodeId],
+    k: usize,
+    faults: &FaultSet,
+    nodes_per_group: usize,
+) -> PlacementScheme {
+    use topology::NodeGraph;
+
     assert!(nodes_per_group > 0, "TP groups need at least one node");
     assert!(k > 0, "K must be at least 1");
     if order.is_empty() {
@@ -76,6 +144,7 @@ pub fn orchestrate_dcn_free(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use std::collections::BTreeSet;
 
     fn order(n: usize) -> Vec<NodeId> {
@@ -158,5 +227,61 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_group_size_is_rejected() {
         let _ = orchestrate_dcn_free(&order(4), 2, &FaultSet::new(), 0);
+    }
+
+    /// Random Algorithm-2 instances: an arbitrary (non-monotonic) node order,
+    /// a random fault set drawn from the same id space, and random `K` / `m`.
+    fn arbitrary_instance() -> impl Strategy<Value = (Vec<NodeId>, FaultSet, usize, usize)> {
+        (
+            proptest::collection::btree_set(0usize..200, 0..48),
+            proptest::collection::btree_set(0usize..200, 0..32),
+            1usize..5,
+            1usize..6,
+        )
+            .prop_map(|(ids, faulty, k, m)| {
+                // A sorted id set would only exercise ascending orders; flip
+                // the tail half so the scan sees a genuinely positional (not
+                // id-ordered) HBD line, like a fat-tree sub-line does.
+                let mut order: Vec<NodeId> = ids.into_iter().map(NodeId).collect();
+                let half = order.len() / 2;
+                order[half..].reverse();
+                let faults = FaultSet::from_nodes(faulty.into_iter().map(NodeId));
+                (order, faults, k, m)
+            })
+    }
+
+    proptest! {
+        /// The linear-scan kernel is pinned bit-for-bit to the graph + DFS
+        /// oracle: same groups, same `NodeId`s, same order (`PlacementScheme`
+        /// equality is exact — no floats involved).
+        #[test]
+        fn linear_scan_matches_graph_oracle(
+            (order, faults, k, m) in arbitrary_instance()
+        ) {
+            let fast = orchestrate_dcn_free(&order, k, &faults, m);
+            let oracle = orchestrate_dcn_free_graph_oracle(&order, k, &faults, m);
+            prop_assert_eq!(fast, oracle);
+        }
+
+        /// Dense fault runs around the `K` threshold are the interesting
+        /// regime (a run of `K − 1` is bypassed, `K` severs): force them by
+        /// making every `stride`-th node faulty in blocks.
+        #[test]
+        fn linear_scan_matches_oracle_on_periodic_fault_runs(
+            n in 1usize..64,
+            run in 1usize..5,
+            stride in 1usize..9,
+            k in 1usize..5,
+            m in 1usize..6,
+        ) {
+            let period = run + stride;
+            let faults = FaultSet::from_nodes(
+                (0..n).filter(|i| i % period < run).map(NodeId),
+            );
+            let order: Vec<NodeId> = (0..n).map(NodeId).collect();
+            let fast = orchestrate_dcn_free(&order, k, &faults, m);
+            let oracle = orchestrate_dcn_free_graph_oracle(&order, k, &faults, m);
+            prop_assert_eq!(fast, oracle);
+        }
     }
 }

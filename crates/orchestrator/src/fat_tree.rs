@@ -19,12 +19,12 @@
 //! ordering ("first relaxes the TP Group alignment constraints ... then relaxes
 //! the TP Group crossing constraints").
 
-use crate::dcn_free::orchestrate_dcn_free;
+use crate::dcn_free::{orchestrate_dcn_free, GroupCutter};
 use crate::deployment::DeploymentStrategy;
 use crate::scheme::PlacementScheme;
 use hbd_types::{HbdError, NodeId, Result};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use topology::runscan::scan_khop_runs;
 use topology::{FatTree, FaultSet};
 
 /// What the job needs from the orchestrator.
@@ -63,6 +63,36 @@ pub struct FatTreeOrchestrator {
     fat_tree: FatTree,
 }
 
+/// Per-search scratch of one constraint search (one
+/// [`FatTreeOrchestrator::orchestrate_par`] call): everything the probe
+/// ladder would otherwise recompute per probe, built once and shared
+/// immutably across the probe-evaluation threads.
+#[derive(Debug)]
+pub(crate) struct SearchScratch {
+    /// The deployment order (Algorithm 3), computed once per search.
+    order: Vec<NodeId>,
+    /// For every node id, the sub-line segment owning it (`usize::MAX` for
+    /// nodes outside any segment, e.g. a trailing partial rack). Replaces the
+    /// per-probe `consumed` set: a probe with `c` constrained segments keeps
+    /// exactly the nodes with `owner >= c` in its residual pass.
+    owner: Vec<usize>,
+    /// Both memoized placement variants per segment, in segment order.
+    /// Shorter than the segment pool when a segment is undefined for the
+    /// layout (mirrors the `break` in the uncached loop).
+    segments: Vec<SegmentCache>,
+    /// `effective[a]` = the fault set with the ToR expansion applied in
+    /// domains `< a`; `effective[0]` is the raw fault set.
+    effective: Vec<FaultSet>,
+}
+
+/// The two placements a sub-line segment can contribute, depending only on
+/// whether its aggregation domain is alignment-constrained.
+#[derive(Debug)]
+struct SegmentCache {
+    raw: PlacementScheme,
+    aligned: PlacementScheme,
+}
+
 impl FatTreeOrchestrator {
     /// Creates an orchestrator for the given Fat-Tree DCN. The deployment
     /// wiring (Algorithm 3) is derived from the same rack layout.
@@ -95,8 +125,24 @@ impl FatTreeOrchestrator {
         self.fat_tree.aggregation_domains()
     }
 
+    /// Expands one faulty node's failure radius to its whole ToR (the
+    /// alignment-constraint cost: surviving rack peers keep matching ranks by
+    /// leaving service together).
+    fn expand_tor(&self, effective: &mut FaultSet, node: NodeId) {
+        let p = self.deployment.sublines();
+        let tor_start = node.index() / p * p;
+        for peer in tor_start..(tor_start + p).min(self.fat_tree.nodes()) {
+            effective.add(NodeId(peer));
+        }
+    }
+
     /// `Placement-Fat-Tree` (Algorithm 4): places TP groups with the first
     /// `n_constraints` constraints applied.
+    ///
+    /// This is the uncached single-probe entry point; the constraint search
+    /// ([`orchestrate_par`](Self::orchestrate_par)) evaluates many probes
+    /// against one fault set and reuses the shared per-search state
+    /// (`SearchScratch`) instead. Both paths produce identical placements.
     pub fn placement_with_constraints(
         &self,
         request: &OrchestrationRequest,
@@ -111,20 +157,27 @@ impl FatTreeOrchestrator {
 
         // Alignment constraint: inside the first `aligned_domains` domains, a
         // faulty node takes its whole ToR out of service so the surviving nodes
-        // keep matching ranks.
-        let mut effective = faults.clone();
-        for node in faults.iter() {
-            let domain = node.index() / self.fat_tree.nodes_per_aggregation_domain();
-            if domain < aligned_domains {
-                let tor_start = node.index() / p * p;
-                for peer in tor_start..(tor_start + p).min(self.fat_tree.nodes()) {
-                    effective.add(NodeId(peer));
+        // keep matching ranks. With no aligned domain the raw fault set is
+        // borrowed as-is — no clone per probe.
+        let expanded;
+        let effective: &FaultSet = if aligned_domains == 0 {
+            faults
+        } else {
+            let mut e = faults.clone();
+            for node in faults.iter() {
+                let domain = node.index() / self.fat_tree.nodes_per_aggregation_domain();
+                if domain < aligned_domains {
+                    self.expand_tor(&mut e, node);
                 }
             }
-        }
+            expanded = e;
+            &expanded
+        };
 
         let mut scheme = PlacementScheme::new();
-        let mut consumed: BTreeSet<NodeId> = BTreeSet::new();
+        // Position bitmask over node ids: which nodes a constrained segment
+        // consumed (placed or not).
+        let mut consumed = vec![false; self.fat_tree.nodes()];
 
         // Segment constraint: the first `constrained_segments` sub-line
         // segments each place their TP groups entirely within themselves
@@ -139,25 +192,151 @@ impl FatTreeOrchestrator {
                 break 'segments;
             };
             let placed =
-                orchestrate_dcn_free(&nodes, request.k, &effective, request.nodes_per_group);
-            for group in &placed.groups {
-                consumed.extend(group.nodes.iter().copied());
+                orchestrate_dcn_free(&nodes, request.k, effective, request.nodes_per_group);
+            for node in &nodes {
+                consumed[node.index()] = true;
             }
-            consumed.extend(nodes);
             scheme.extend(placed);
         }
 
         // Residual: everything not consumed by a constrained segment is
         // orchestrated as one long HBD line (groups may now cross domains and
-        // lose alignment — that is the relaxation).
-        let residual: Vec<NodeId> = self
-            .deployment
-            .deployment_order()
-            .into_iter()
-            .filter(|n| !consumed.contains(n))
-            .collect();
-        let rest = orchestrate_dcn_free(&residual, request.k, &effective, request.nodes_per_group);
-        scheme.extend(rest);
+        // lose alignment — that is the relaxation). The linear-scan kernel
+        // streams the filtered deployment order directly; no residual vector
+        // is materialised.
+        let mut cutter = GroupCutter::new(request.nodes_per_group);
+        scan_khop_runs(
+            self.deployment
+                .deployment_order()
+                .into_iter()
+                .filter(|n| !consumed[n.index()]),
+            request.k,
+            |n| effective.is_faulty(*n),
+            &mut cutter,
+        );
+        scheme.extend(cutter.scheme);
+
+        self.assign_dp_ranks(&mut scheme);
+        scheme
+    }
+
+    /// Builds the per-search scratch shared by every probe of one constraint
+    /// search: the deployment order, the segment-ownership mask, the effective
+    /// (ToR-expanded) fault set per `aligned_domains` value, and both
+    /// placement variants of every sub-line segment.
+    ///
+    /// A segment's placement depends only on the segment and on whether its
+    /// own aggregation domain is aligned: ToRs never straddle domains
+    /// (`nodes_per_aggregation_domain = p × tors_per_domain`), so the ToR
+    /// expansion sourced from other domains cannot touch the segment's nodes.
+    /// Each segment is therefore orchestrated exactly twice per search — once
+    /// raw, once aligned — instead of once per probe.
+    pub(crate) fn search_scratch(
+        &self,
+        request: &OrchestrationRequest,
+        faults: &FaultSet,
+    ) -> SearchScratch {
+        let p = self.deployment.sublines();
+        let npd = self.fat_tree.nodes_per_aggregation_domain();
+        let tors_per_domain = npd / p;
+        let n_segments = self.segment_constraints();
+        let n_domains = self.alignment_constraints();
+
+        // effective[a] = faults with the ToR expansion applied in domains < a,
+        // built incrementally (one domain's worth of expansion per step).
+        let mut effective: Vec<FaultSet> = Vec::with_capacity(n_domains + 1);
+        effective.push(faults.clone());
+        for a in 1..=n_domains {
+            let mut next = effective[a - 1].clone();
+            for node in faults.iter() {
+                if node.index() / npd == a - 1 {
+                    self.expand_tor(&mut next, node);
+                }
+            }
+            effective.push(next);
+        }
+        let fully_expanded = effective.last().expect("effective[0] always exists");
+
+        let mut owner = vec![usize::MAX; self.fat_tree.nodes()];
+        let mut segments = Vec::with_capacity(n_segments);
+        for seg in 0..n_segments {
+            let domain = seg / p;
+            let subline = seg % p;
+            let Ok(nodes) = self
+                .deployment
+                .subline_segment(subline, domain, tors_per_domain)
+            else {
+                break;
+            };
+            for node in &nodes {
+                owner[node.index()] = seg;
+            }
+            segments.push(SegmentCache {
+                raw: orchestrate_dcn_free(
+                    &nodes,
+                    request.k,
+                    &effective[0],
+                    request.nodes_per_group,
+                ),
+                aligned: orchestrate_dcn_free(
+                    &nodes,
+                    request.k,
+                    fully_expanded,
+                    request.nodes_per_group,
+                ),
+            });
+        }
+
+        SearchScratch {
+            order: self.deployment.deployment_order(),
+            owner,
+            segments,
+            effective,
+        }
+    }
+
+    /// [`placement_with_constraints`](Self::placement_with_constraints)
+    /// against a prebuilt [`SearchScratch`]: constrained segments copy their
+    /// memoized placements, the residual pass streams the cached deployment
+    /// order through the linear-scan kernel, and no fault set is cloned.
+    /// Bit-identical to the uncached path (pinned by the memoization
+    /// invariance test).
+    pub(crate) fn placement_with_constraints_cached(
+        &self,
+        request: &OrchestrationRequest,
+        scratch: &SearchScratch,
+        n_constraints: usize,
+    ) -> PlacementScheme {
+        let p = self.deployment.sublines();
+        let n_segments = self.segment_constraints();
+        let constrained = n_constraints.min(n_segments).min(scratch.segments.len());
+        let aligned_domains = n_constraints
+            .saturating_sub(n_segments)
+            .min(scratch.effective.len() - 1);
+        let effective = &scratch.effective[aligned_domains];
+
+        let mut scheme = PlacementScheme::new();
+        for (seg, cache) in scratch.segments.iter().enumerate().take(constrained) {
+            let placed = if seg / p < aligned_domains {
+                &cache.aligned
+            } else {
+                &cache.raw
+            };
+            scheme.groups.extend_from_slice(&placed.groups);
+        }
+
+        let mut cutter = GroupCutter::new(request.nodes_per_group);
+        scan_khop_runs(
+            scratch
+                .order
+                .iter()
+                .copied()
+                .filter(|n| scratch.owner[n.index()] >= constrained),
+            request.k,
+            |n| effective.is_faulty(*n),
+            &mut cutter,
+        );
+        scheme.extend(cutter.scheme);
 
         self.assign_dp_ranks(&mut scheme);
         scheme
@@ -206,6 +385,13 @@ impl FatTreeOrchestrator {
         let needed_nodes = job_groups * request.nodes_per_group;
         let feasible = |placement: &PlacementScheme| placement.nodes_placed() >= needed_nodes;
 
+        // Everything probe-invariant is computed once: the deployment order,
+        // the segment-ownership mask, the ToR-expanded fault set per
+        // aligned-domain count, and both placement variants of every segment.
+        // Each probe then only assembles memoized segments and scans its
+        // residual line.
+        let scratch = self.search_scratch(request, faults);
+
         let mut low = 0usize;
         let mut high = self.segment_constraints() + self.alignment_constraints();
         let mut best: Option<PlacementScheme> = None;
@@ -215,7 +401,7 @@ impl FatTreeOrchestrator {
             // constrained infeasible probe directly above it.
             let hit = if threads > 1 {
                 let placements = hbd_types::par::par_map(threads, &probes, |_, &n| {
-                    self.placement_with_constraints(request, faults, n)
+                    self.placement_with_constraints_cached(request, &scratch, n)
                 });
                 probes
                     .iter()
@@ -225,7 +411,7 @@ impl FatTreeOrchestrator {
                     .map(|(&n, placement)| (n, placement))
             } else {
                 probes.iter().rev().find_map(|&n| {
-                    let placement = self.placement_with_constraints(request, faults, n);
+                    let placement = self.placement_with_constraints_cached(request, &scratch, n);
                     feasible(&placement).then_some((n, placement))
                 })
             };
@@ -388,6 +574,31 @@ mod tests {
         assert_eq!(ladder.last(), Some(&68));
         assert!(ladder.windows(2).all(|w| w[0] < w[1]));
         assert!(ladder.len() <= FatTreeOrchestrator::SEARCH_PROBES);
+    }
+
+    #[test]
+    fn cached_search_matches_uncached_probes_for_any_thread_count() {
+        // Memoization invariance: every probe of the constraint ladder places
+        // identically with and without the per-search cache, and the full
+        // search result is identical for 1 / 4 / 16 threads.
+        let orch = orchestrator();
+        let faults = FaultSet::from_nodes((0..30).map(|i| NodeId(i * 13)));
+        let req = request(360);
+        let scratch = orch.search_scratch(&req, &faults);
+        let total = orch.segment_constraints() + orch.alignment_constraints();
+        for n in 0..=total {
+            let cached = orch.placement_with_constraints_cached(&req, &scratch, n);
+            let uncached = orch.placement_with_constraints(&req, &faults, n);
+            assert_eq!(cached, uncached, "constraint count {n}");
+        }
+        let seq = orch.orchestrate_par(&req, &faults, 1).unwrap();
+        for threads in [4usize, 16] {
+            assert_eq!(
+                seq,
+                orch.orchestrate_par(&req, &faults, threads).unwrap(),
+                "threads {threads}"
+            );
+        }
     }
 
     #[test]

@@ -10,17 +10,25 @@
 
 use hbd_types::NodeId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
 
 /// The set of currently-faulty nodes.
 ///
 /// Faults are tracked at node granularity because the production trace the
 /// paper uses records node-level fault events (most are GPU faults, and a node
 /// with any faulty GPU is taken out of service for training).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Internally this is a dense `u64`-word bitset indexed by node id — the
+/// fault-resilience sweeps probe `is_faulty` for every node of the cluster at
+/// every trace instant, so membership must be O(1) and counting O(words).
+/// The serialised form is unchanged from the original `BTreeSet` version: an
+/// object holding the sorted faulty-node list (`{"nodes": [3, 17, ...]}`).
+#[derive(Clone, Default, Eq)]
 pub struct FaultSet {
-    nodes: BTreeSet<NodeId>,
+    words: Vec<u64>,
+    len: usize,
 }
+
+const WORD_BITS: usize = u64::BITS as usize;
 
 impl FaultSet {
     /// Creates an empty fault set (fully healthy cluster).
@@ -30,39 +38,84 @@ impl FaultSet {
 
     /// Creates a fault set from an iterator of faulty nodes.
     pub fn from_nodes<I: IntoIterator<Item = NodeId>>(nodes: I) -> Self {
-        FaultSet {
-            nodes: nodes.into_iter().collect(),
+        let mut set = FaultSet::new();
+        for node in nodes {
+            set.add(node);
         }
+        set
+    }
+
+    /// Creates a fault set for a cluster of `cluster_nodes` nodes: the word
+    /// storage is sized once up front and ids at or beyond `cluster_nodes`
+    /// are ignored. This is the per-instant constructor of the trace replays,
+    /// whose traces may cover more nodes than the architecture under study.
+    pub fn from_nodes_clamped<I: IntoIterator<Item = NodeId>>(
+        cluster_nodes: usize,
+        nodes: I,
+    ) -> Self {
+        let mut set = FaultSet {
+            words: vec![0; cluster_nodes.div_ceil(WORD_BITS)],
+            len: 0,
+        };
+        for node in nodes {
+            if node.index() < cluster_nodes {
+                set.add(node);
+            }
+        }
+        set
     }
 
     /// Marks a node as faulty. Returns `true` if it was previously healthy.
     pub fn add(&mut self, node: NodeId) -> bool {
-        self.nodes.insert(node)
+        let (word, bit) = (node.index() / WORD_BITS, node.index() % WORD_BITS);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        let newly = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        self.len += newly as usize;
+        newly
     }
 
     /// Marks a node as repaired. Returns `true` if it was previously faulty.
     pub fn remove(&mut self, node: NodeId) -> bool {
-        self.nodes.remove(&node)
+        let (word, bit) = (node.index() / WORD_BITS, node.index() % WORD_BITS);
+        let Some(slot) = self.words.get_mut(word) else {
+            return false;
+        };
+        let mask = 1u64 << bit;
+        let was = *slot & mask != 0;
+        *slot &= !mask;
+        self.len -= was as usize;
+        was
     }
 
     /// Whether the given node is faulty.
     pub fn is_faulty(&self, node: NodeId) -> bool {
-        self.nodes.contains(&node)
+        let (word, bit) = (node.index() / WORD_BITS, node.index() % WORD_BITS);
+        self.words.get(word).is_some_and(|w| w & (1u64 << bit) != 0)
     }
 
     /// Number of faulty nodes.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.len
     }
 
     /// Whether no node is faulty.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.len == 0
     }
 
     /// Iterates over the faulty nodes in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes.iter().copied()
+        self.words.iter().enumerate().flat_map(|(i, &word)| {
+            std::iter::successors((word != 0).then_some(word), |w| {
+                let rest = w & (w - 1);
+                (rest != 0).then_some(rest)
+            })
+            .map(move |w| NodeId(i * WORD_BITS + w.trailing_zeros() as usize))
+        })
     }
 
     /// Fault ratio over a cluster of `total_nodes` nodes.
@@ -72,6 +125,123 @@ impl FaultSet {
         } else {
             self.len() as f64 / total_nodes as f64
         }
+    }
+
+    /// Number of faulty nodes with ids in `lo..hi` — a masked popcount over
+    /// the word range, O(words touched). Every architecture's utilization
+    /// report counts faults over its node range (or per fixed-size domain)
+    /// with this instead of probing node by node.
+    pub fn count_in_range(&self, lo: usize, hi: usize) -> usize {
+        if lo >= hi {
+            return 0;
+        }
+        let hi = hi.min(self.words.len() * WORD_BITS);
+        if lo >= hi {
+            return 0;
+        }
+        let (lo_word, lo_bit) = (lo / WORD_BITS, lo % WORD_BITS);
+        let (hi_word, hi_bit) = (hi / WORD_BITS, hi % WORD_BITS);
+        let lo_mask = !0u64 << lo_bit;
+        let hi_mask = if hi_bit == 0 {
+            0
+        } else {
+            !0u64 >> (WORD_BITS - hi_bit)
+        };
+        if lo_word == hi_word {
+            return (self.words[lo_word] & lo_mask & hi_mask).count_ones() as usize;
+        }
+        let mut count = (self.words[lo_word] & lo_mask).count_ones() as usize;
+        for &word in &self.words[lo_word + 1..hi_word] {
+            count += word.count_ones() as usize;
+        }
+        if hi_bit != 0 {
+            count += (self.words[hi_word] & hi_mask).count_ones() as usize;
+        }
+        count
+    }
+
+    /// Length of the run of consecutive faulty nodes starting at `from`
+    /// (zero when `from` is healthy), found by word-wise scanning. Answers
+    /// in one query whether a fault run severs a K-Hop line (`run >= K`) —
+    /// the question the linear run scan of [`crate::runscan`] resolves with
+    /// a gap counter when it is already walking every position anyway.
+    pub fn faulty_run(&self, from: NodeId) -> usize {
+        let start = from.index();
+        let mut pos = start;
+        loop {
+            let (word, bit) = (pos / WORD_BITS, pos % WORD_BITS);
+            let Some(&w) = self.words.get(word) else {
+                return pos - start;
+            };
+            // Healthy bits at or above `bit` within this word, as set bits.
+            let healthy = !w & (!0u64 << bit);
+            if healthy != 0 {
+                return word * WORD_BITS + healthy.trailing_zeros() as usize - start;
+            }
+            pos = (word + 1) * WORD_BITS;
+        }
+    }
+
+    /// Adds every faulty node of `other` to `self` — a word-wise OR,
+    /// O(words).
+    pub fn union_with(&mut self, other: &FaultSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut len = 0usize;
+        for (slot, &word) in self.words.iter_mut().zip(other.words.iter()) {
+            *slot |= word;
+            len += slot.count_ones() as usize;
+        }
+        for &word in &self.words[other.words.len()..] {
+            len += word.count_ones() as usize;
+        }
+        self.len = len;
+    }
+}
+
+impl PartialEq for FaultSet {
+    fn eq(&self, other: &Self) -> bool {
+        // Capacity (trailing zero words) is not part of the set's identity.
+        if self.len != other.len {
+            return false;
+        }
+        let shared = self.words.len().min(other.words.len());
+        self.words[..shared] == other.words[..shared]
+            && self.words[shared..].iter().all(|&w| w == 0)
+            && other.words[shared..].iter().all(|&w| w == 0)
+    }
+}
+
+impl std::fmt::Debug for FaultSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+// Hand-written serde keeping the wire format of the original
+// `struct FaultSet { nodes: BTreeSet<NodeId> }`: an object with a single
+// `nodes` key holding the sorted faulty-node array.
+impl Serialize for FaultSet {
+    fn to_value(&self) -> serde::value::Value {
+        let nodes: Vec<serde::value::Value> =
+            self.iter().map(|node| Serialize::to_value(&node)).collect();
+        let mut map = serde::value::Map::new();
+        map.insert(String::from("nodes"), serde::value::Value::Array(nodes));
+        serde::value::Value::Object(map)
+    }
+}
+
+impl Deserialize for FaultSet {
+    fn from_value(value: &serde::value::Value) -> Result<Self, serde::de::Error> {
+        let object = value.as_object().ok_or_else(|| {
+            serde::de::Error::custom(format!("expected object for FaultSet, found {value}"))
+        })?;
+        let nodes = object
+            .get("nodes")
+            .ok_or_else(|| serde::de::Error::custom("FaultSet: missing field `nodes`"))?;
+        let nodes: Vec<NodeId> = Deserialize::from_value(nodes)?;
+        Ok(FaultSet::from_nodes(nodes))
     }
 }
 
@@ -222,6 +392,104 @@ mod tests {
         assert_eq!(faults.len(), 2);
         let nodes: Vec<NodeId> = faults.iter().collect();
         assert_eq!(nodes, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn clamped_constructor_filters_and_matches_filtered_from_nodes() {
+        let ids = [
+            NodeId(0),
+            NodeId(63),
+            NodeId(64),
+            NodeId(719),
+            NodeId(720),
+            NodeId(901),
+        ];
+        let clamped = FaultSet::from_nodes_clamped(720, ids);
+        let filtered = FaultSet::from_nodes(ids.into_iter().filter(|n| n.index() < 720));
+        assert_eq!(clamped, filtered);
+        assert_eq!(clamped.len(), 4);
+        assert!(!clamped.is_faulty(NodeId(720)));
+        // Degenerate cluster sizes behave.
+        assert!(FaultSet::from_nodes_clamped(0, [NodeId(0)]).is_empty());
+    }
+
+    #[test]
+    fn equality_ignores_bitset_capacity() {
+        // Two sets with the same members must compare equal even when their
+        // word vectors have different lengths (e.g. after a remove).
+        let mut a = FaultSet::from_nodes([NodeId(3), NodeId(500)]);
+        a.remove(NodeId(500));
+        let b = FaultSet::from_nodes([NodeId(3)]);
+        assert_eq!(a, b);
+        assert_eq!(b, a);
+        assert_ne!(a, FaultSet::from_nodes([NodeId(4)]));
+        assert_ne!(a, FaultSet::new());
+    }
+
+    #[test]
+    fn iter_is_ascending_across_words() {
+        let ids = [0usize, 1, 63, 64, 65, 127, 128, 400];
+        let faults = FaultSet::from_nodes(ids.iter().rev().map(|&i| NodeId(i)));
+        let out: Vec<usize> = faults.iter().map(|n| n.index()).collect();
+        assert_eq!(out, ids);
+        assert_eq!(faults.len(), ids.len());
+    }
+
+    #[test]
+    fn count_in_range_is_a_masked_popcount() {
+        let faults = FaultSet::from_nodes([0, 5, 63, 64, 100, 130].map(NodeId));
+        assert_eq!(faults.count_in_range(0, 200), 6);
+        assert_eq!(faults.count_in_range(0, 64), 3);
+        assert_eq!(faults.count_in_range(63, 65), 2);
+        assert_eq!(faults.count_in_range(64, 64), 0);
+        assert_eq!(faults.count_in_range(101, 130), 0);
+        assert_eq!(faults.count_in_range(100, 131), 2);
+        // Ranges past the stored words are all healthy.
+        assert_eq!(faults.count_in_range(500, 1000), 0);
+        assert_eq!(faults.count_in_range(10, 5), 0);
+    }
+
+    #[test]
+    fn faulty_run_measures_consecutive_faults() {
+        let faults = FaultSet::from_nodes((60..70).chain(100..101).map(NodeId));
+        assert_eq!(faults.faulty_run(NodeId(59)), 0);
+        assert_eq!(faults.faulty_run(NodeId(60)), 10);
+        assert_eq!(faults.faulty_run(NodeId(65)), 5);
+        assert_eq!(faults.faulty_run(NodeId(100)), 1);
+        assert_eq!(faults.faulty_run(NodeId(500)), 0);
+        // A run that extends to the end of the stored words terminates there.
+        let tail = FaultSet::from_nodes((120..128).map(NodeId));
+        assert_eq!(tail.faulty_run(NodeId(120)), 8);
+    }
+
+    #[test]
+    fn union_with_merges_and_recounts() {
+        let mut a = FaultSet::from_nodes([NodeId(1), NodeId(70)]);
+        let b = FaultSet::from_nodes([NodeId(1), NodeId(2), NodeId(300)]);
+        a.union_with(&b);
+        assert_eq!(a.len(), 4);
+        let expect = FaultSet::from_nodes([NodeId(1), NodeId(2), NodeId(70), NodeId(300)]);
+        assert_eq!(a, expect);
+        // Union with a shorter set keeps the longer tail.
+        let mut c = FaultSet::from_nodes([NodeId(300)]);
+        c.union_with(&FaultSet::from_nodes([NodeId(0)]));
+        assert_eq!(c, FaultSet::from_nodes([NodeId(0), NodeId(300)]));
+    }
+
+    #[test]
+    fn serde_shape_is_the_sorted_node_list() {
+        // The bitset rewrite must keep the original wire format: an object
+        // with a single `nodes` key holding the ascending faulty-node array.
+        let faults = FaultSet::from_nodes([NodeId(130), NodeId(5), NodeId(64)]);
+        let json = serde_json::to_string(&faults).expect("serialises");
+        assert_eq!(json, r#"{"nodes":[5,64,130]}"#);
+        let back: FaultSet = serde_json::from_str(&json).expect("deserialises");
+        assert_eq!(back, faults);
+        // Empty set round-trips too.
+        let empty_json = serde_json::to_string(&FaultSet::new()).expect("serialises");
+        assert_eq!(empty_json, r#"{"nodes":[]}"#);
+        let back: FaultSet = serde_json::from_str(&empty_json).expect("deserialises");
+        assert!(back.is_empty());
     }
 
     #[test]

@@ -7,7 +7,6 @@
 //! the global fragmentation remainder `healthy mod TP`.
 
 use crate::arch::{ArchitectureKind, FaultSet, HbdArchitecture, UtilizationReport};
-use hbd_types::NodeId;
 use serde::{Deserialize, Serialize};
 
 /// The idealised Big-Switch HBD.
@@ -46,9 +45,7 @@ impl HbdArchitecture for BigSwitch {
 
     fn utilization(&self, faults: &FaultSet, tp_size: usize) -> UtilizationReport {
         assert!(tp_size > 0, "TP size must be positive");
-        let faulty_nodes = (0..self.nodes)
-            .filter(|&n| faults.is_faulty(NodeId(n)))
-            .count();
+        let faulty_nodes = faults.count_in_range(0, self.nodes);
         let faulty_gpus = faulty_nodes * self.gpus_per_node;
         let healthy = self.total_gpus() - faulty_gpus;
         let usable = (healthy / tp_size) * tp_size;
@@ -59,6 +56,7 @@ impl HbdArchitecture for BigSwitch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hbd_types::NodeId;
 
     #[test]
     fn healthy_cluster_only_wastes_the_global_remainder() {

@@ -146,9 +146,7 @@ impl HbdArchitecture for DojoMesh {
     fn utilization(&self, faults: &FaultSet, tp_size: usize) -> UtilizationReport {
         assert!(tp_size > 0, "TP size must be positive");
         let total_nodes = self.nodes();
-        let faulty_nodes = (0..total_nodes)
-            .filter(|&n| faults.is_faulty(NodeId(n)))
-            .count();
+        let faulty_nodes = faults.count_in_range(0, total_nodes);
         let degraded = self.degraded_nodes(faults);
         let full_bandwidth_nodes = total_nodes - degraded.len();
         let usable = (full_bandwidth_nodes * self.gpus_per_node / tp_size) * tp_size;

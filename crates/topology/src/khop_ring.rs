@@ -145,56 +145,97 @@ impl KHopRing {
     /// nodes satisfying that property; when the ring is closed, a run may wrap
     /// around the deployment boundary.
     pub fn healthy_segments(&self, faults: &FaultSet) -> Vec<RingSegment> {
-        let healthy: Vec<usize> = (0..self.nodes)
-            .filter(|&n| !faults.is_faulty(NodeId(n)))
-            .collect();
-        if healthy.is_empty() {
-            return Vec::new();
+        // The linear run scan of `runscan`: a segment breaks exactly where K
+        // or more consecutive faulty nodes sever the line.
+        struct Collector {
+            segments: Vec<RingSegment>,
+            current: Vec<NodeId>,
         }
-
-        // Split the healthy nodes wherever the gap to the previous healthy node
-        // exceeds K (i.e. K or more consecutive faulty nodes in between).
-        let mut segments: Vec<Vec<usize>> = vec![vec![healthy[0]]];
-        for window in healthy.windows(2) {
-            let (prev, cur) = (window[0], window[1]);
-            if cur - prev <= self.k {
-                segments.last_mut().expect("non-empty").push(cur);
-            } else {
-                segments.push(vec![cur]);
+        impl crate::runscan::RunSink<usize> for Collector {
+            fn healthy(&mut self, pos: usize) {
+                self.current.push(NodeId(pos));
+            }
+            fn cut(&mut self) {
+                if !self.current.is_empty() {
+                    self.segments.push(RingSegment {
+                        nodes: std::mem::take(&mut self.current),
+                        wraps: false,
+                    });
+                }
             }
         }
-
-        let mut out: Vec<RingSegment> = segments
-            .into_iter()
-            .map(|nodes| RingSegment {
-                nodes: nodes.into_iter().map(NodeId).collect(),
+        let mut sink = Collector {
+            segments: Vec::new(),
+            current: Vec::new(),
+        };
+        crate::runscan::scan_khop_runs(
+            0..self.nodes,
+            self.k,
+            |&n| faults.is_faulty(NodeId(n)),
+            &mut sink,
+        );
+        let Collector {
+            mut segments,
+            current,
+        } = sink;
+        if !current.is_empty() {
+            segments.push(RingSegment {
+                nodes: current,
                 wraps: false,
-            })
-            .collect();
+            });
+        }
 
         // Wraparound merge: if the ring is closed and the gap from the last
         // healthy node over the boundary to the first healthy node is <= K,
         // the first and last segments are really one segment.
-        if self.closed && out.len() > 1 {
-            let first = *healthy.first().expect("non-empty");
-            let last = *healthy.last().expect("non-empty");
+        if self.closed && segments.len() > 1 {
+            let first = segments.first().expect("len > 1").nodes[0].index();
+            let last = segments
+                .last()
+                .expect("len > 1")
+                .nodes
+                .last()
+                .expect("segments are non-empty")
+                .index();
             let boundary_gap = self.nodes - last + first;
             if boundary_gap <= self.k {
-                let tail = out.pop().expect("len > 1");
-                let head = out.remove(0);
+                let tail = segments.pop().expect("len > 1");
+                let head = segments.remove(0);
                 let mut nodes = tail.nodes;
                 nodes.extend(head.nodes);
-                out.push(RingSegment { nodes, wraps: true });
+                segments.push(RingSegment { nodes, wraps: true });
             }
         }
-        out
+        segments
     }
 
     /// Total number of usable GPUs under `faults` for TP groups of `tp_size`.
+    ///
+    /// Fast path of [`healthy_segments`](Self::healthy_segments): only the
+    /// per-segment healthy-node counts matter for capacity, so the run scan
+    /// counts them without materialising any segment.
     pub fn usable_gpus(&self, faults: &FaultSet, tp_size: usize) -> usize {
-        self.healthy_segments(faults)
-            .iter()
-            .map(|seg| seg.tp_groups(self.gpus_per_node, tp_size) * tp_size)
+        assert!(tp_size > 0, "TP size must be positive");
+        let mut counter = crate::runscan::RunCounter::new();
+        crate::runscan::scan_khop_runs(
+            0..self.nodes,
+            self.k,
+            |&n| faults.is_faulty(NodeId(n)),
+            &mut counter,
+        );
+        counter.finish();
+        let mut runs = counter.runs;
+        if self.closed && runs.len() > 1 {
+            let first = counter.first_healthy.expect("runs are non-empty");
+            let boundary_gap = self.nodes - counter.last_healthy + first;
+            if boundary_gap <= self.k {
+                // The first and last runs merge over the deployment boundary.
+                let tail = runs.pop().expect("len > 1");
+                runs[0] += tail;
+            }
+        }
+        runs.iter()
+            .map(|&healthy| (healthy * self.gpus_per_node / tp_size) * tp_size)
             .sum()
     }
 }
@@ -217,9 +258,7 @@ impl HbdArchitecture for KHopRing {
     }
 
     fn utilization(&self, faults: &FaultSet, tp_size: usize) -> UtilizationReport {
-        let faulty_nodes = (0..self.nodes)
-            .filter(|&n| faults.is_faulty(NodeId(n)))
-            .count();
+        let faulty_nodes = faults.count_in_range(0, self.nodes);
         let faulty_gpus = faulty_nodes * self.gpus_per_node;
         let usable = self.usable_gpus(faults, tp_size);
         UtilizationReport::new(self.total_gpus(), faulty_gpus, usable)

@@ -33,6 +33,7 @@ pub mod graph;
 pub mod khop_ring;
 pub mod node;
 pub mod nvl;
+pub mod runscan;
 pub mod sip_ring;
 pub mod tpuv4;
 
@@ -45,6 +46,7 @@ pub use graph::NodeGraph;
 pub use khop_ring::{KHopRing, RingSegment};
 pub use node::Node;
 pub use nvl::{Nvl, NvlVariant};
+pub use runscan::{scan_khop_runs, RunCounter, RunSink};
 pub use sip_ring::SipRing;
 pub use tpuv4::TpuV4;
 

@@ -8,7 +8,6 @@
 //! domain reduce the healthy pool of that domain only.
 
 use crate::arch::{ArchitectureKind, FaultSet, HbdArchitecture, UtilizationReport};
-use hbd_types::NodeId;
 use serde::{Deserialize, Serialize};
 
 /// The NVLink domain sizes compared in the paper.
@@ -87,10 +86,7 @@ impl Nvl {
             .map(|d| {
                 let start = d * per_domain;
                 let end = ((d + 1) * per_domain).min(self.nodes);
-                (start..end)
-                    .filter(|&n| !faults.is_faulty(NodeId(n)))
-                    .count()
-                    * self.gpus_per_node
+                (end - start - faults.count_in_range(start, end)) * self.gpus_per_node
             })
             .collect()
     }
@@ -115,9 +111,7 @@ impl HbdArchitecture for Nvl {
 
     fn utilization(&self, faults: &FaultSet, tp_size: usize) -> UtilizationReport {
         assert!(tp_size > 0, "TP size must be positive");
-        let faulty_nodes = (0..self.nodes)
-            .filter(|&n| faults.is_faulty(NodeId(n)))
-            .count();
+        let faulty_nodes = faults.count_in_range(0, self.nodes);
         let faulty_gpus = faulty_nodes * self.gpus_per_node;
         let usable: usize = self
             .healthy_gpus_per_domain(faults)
@@ -131,6 +125,7 @@ impl HbdArchitecture for Nvl {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hbd_types::NodeId;
 
     #[test]
     fn domain_sizes_match_products() {

@@ -13,7 +13,7 @@
 //!   every ring.
 
 use crate::arch::{ArchitectureKind, FaultSet, HbdArchitecture, UtilizationReport};
-use hbd_types::{HbdError, NodeId, Result};
+use hbd_types::{HbdError, Result};
 use serde::{Deserialize, Serialize};
 
 /// A cluster wired as fixed-size static rings.
@@ -63,7 +63,7 @@ impl SipRing {
     pub fn ring_intact(&self, ring: usize, faults: &FaultSet) -> bool {
         let per_ring = self.nodes_per_ring();
         let start = ring * per_ring;
-        (start..start + per_ring).all(|n| !faults.is_faulty(NodeId(n)))
+        faults.count_in_range(start, start + per_ring) == 0
     }
 }
 
@@ -86,9 +86,7 @@ impl HbdArchitecture for SipRing {
 
     fn utilization(&self, faults: &FaultSet, tp_size: usize) -> UtilizationReport {
         assert!(tp_size > 0, "TP size must be positive");
-        let faulty_nodes = (0..self.nodes)
-            .filter(|&n| faults.is_faulty(NodeId(n)))
-            .count();
+        let faulty_nodes = faults.count_in_range(0, self.nodes);
         let faulty_gpus = faulty_nodes * self.gpus_per_node;
 
         // A TP group needs a ring at least as large as the group; the static
@@ -110,6 +108,7 @@ impl HbdArchitecture for SipRing {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hbd_types::NodeId;
 
     #[test]
     fn ring_size_must_be_node_multiple() {

@@ -13,7 +13,6 @@
 //!   needed per group.
 
 use crate::arch::{ArchitectureKind, FaultSet, HbdArchitecture, UtilizationReport};
-use hbd_types::NodeId;
 use serde::{Deserialize, Serialize};
 
 /// GPUs (TPUs) per cube: 4 × 4 × 4.
@@ -53,10 +52,7 @@ impl TpuV4 {
             .map(|c| {
                 let start = c * per_cube;
                 let end = ((c + 1) * per_cube).min(self.nodes);
-                (start..end)
-                    .filter(|&n| !faults.is_faulty(NodeId(n)))
-                    .count()
-                    * self.gpus_per_node
+                (end - start - faults.count_in_range(start, end)) * self.gpus_per_node
             })
             .collect()
     }
@@ -81,9 +77,7 @@ impl HbdArchitecture for TpuV4 {
 
     fn utilization(&self, faults: &FaultSet, tp_size: usize) -> UtilizationReport {
         assert!(tp_size > 0, "TP size must be positive");
-        let faulty_nodes = (0..self.nodes)
-            .filter(|&n| faults.is_faulty(NodeId(n)))
-            .count();
+        let faulty_nodes = faults.count_in_range(0, self.nodes);
         let faulty_gpus = faulty_nodes * self.gpus_per_node;
         let per_cube = self.healthy_gpus_per_cube(faults);
 
@@ -115,6 +109,7 @@ impl HbdArchitecture for TpuV4 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hbd_types::NodeId;
 
     #[test]
     fn sixteen_four_gpu_nodes_form_a_cube() {

@@ -167,6 +167,32 @@ proptest! {
         }
     }
 
+    /// The counting fast path of `usable_gpus` (the run scan that never
+    /// materialises a segment) agrees exactly with the segment-materialising
+    /// definition, on the closed ring and on the line variant alike.
+    #[test]
+    fn usable_gpus_fast_path_matches_segment_definition(
+        nodes in 1usize..300,
+        k in 1usize..4,
+        ratio in 0.0f64..0.7,
+        seed in 0u64..10_000,
+        tp_exp in 0u32..6,
+    ) {
+        let faults = random_faults(nodes, ratio, seed);
+        let tp = 4usize << tp_exp;
+        for ring in [
+            KHopRing::new(nodes, 4, k).unwrap(),
+            KHopRing::line(nodes, 4, k).unwrap(),
+        ] {
+            let from_segments: usize = ring
+                .healthy_segments(&faults)
+                .iter()
+                .map(|seg| seg.tp_groups(4, tp) * tp)
+                .sum();
+            prop_assert_eq!(ring.usable_gpus(&faults, tp), from_segments);
+        }
+    }
+
     /// Monotonicity: adding one more faulty node can never increase the
     /// number of usable GPUs.
     #[test]

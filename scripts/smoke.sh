@@ -53,9 +53,12 @@ echo "==> EXPERIMENTS.md freshness + wall-clock deltas"
 # can opt in by restoring the previous push's bench_results.full.json
 # artifact to ./bench_results.json before running this script (the
 # smoke-scale target/smoke/bench_results.json is NOT comparable here).
+# --warn-over prints a visible (still non-fatal) summary of experiments whose
+# wall-clock grew to 2x or more of the baseline, so CI logs surface real
+# regressions without failing on machine jitter.
 cargo run --release --bin experiments -- \
   --md target/smoke/EXPERIMENTS.full.md --out target/smoke/bench_results.full.json \
-  --compare bench_results.json
+  --compare bench_results.json --warn-over 2.0
 diff -u EXPERIMENTS.md target/smoke/EXPERIMENTS.full.md
 
 echo "All smoke checks passed."
