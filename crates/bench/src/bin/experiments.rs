@@ -13,6 +13,13 @@
 //! With `--only <substring>` the run is a partial preview: results go to
 //! stdout only and no files are written (a partial `EXPERIMENTS.md` would
 //! masquerade as the full evaluation).
+//!
+//! With `--sim-seed <N>` the driver instead replays exactly one ordering of
+//! the control-plane fault-injection simulator (the `sim_seeds` experiment's
+//! configuration, profile selected by `--sim-profile`, default
+//! `adversarial`), prints the full report and exits non-zero if the
+//! convergence invariant was violated — the one-command reproduction path
+//! for any failing seed the sweep reports.
 
 use bench::registry::{self, RunCtx};
 use bench::{HarnessArgs, Table, USAGE};
@@ -20,7 +27,8 @@ use std::time::Instant;
 
 const DRIVER_USAGE: &str = "usage: experiments [--seed <u64>] [--threads <n>] [--scale <f64>] \
      [--json] [--only <substring>] [--md <path>] [--out <path>] [--bench-json <path>] \
-     [--compare <old bench_results.json>] [--warn-over <factor>] [--list]";
+     [--compare <old bench_results.json>] [--warn-over <factor>] [--list] \
+     [--sim-seed <u64> [--sim-profile <name>]]";
 
 struct DriverArgs {
     common: HarnessArgs,
@@ -31,6 +39,8 @@ struct DriverArgs {
     compare: Option<String>,
     warn_over: Option<f64>,
     list: bool,
+    sim_seed: Option<u64>,
+    sim_profile: String,
 }
 
 fn parse_driver_args() -> DriverArgs {
@@ -51,6 +61,8 @@ fn parse_driver_args() -> DriverArgs {
         compare: None,
         warn_over: None,
         list: false,
+        sim_seed: None,
+        sim_profile: "adversarial".to_string(),
     };
     let mut i = 0;
     while i < leftover.len() {
@@ -81,6 +93,19 @@ fn parse_driver_args() -> DriverArgs {
                         std::process::exit(2);
                     }
                 }
+            }
+            "--sim-seed" => {
+                let value = require_value(&leftover, &mut i, "--sim-seed");
+                match value.parse::<u64>() {
+                    Ok(seed) => driver.sim_seed = Some(seed),
+                    Err(_) => {
+                        eprintln!("error: --sim-seed needs a u64, got '{value}'\n{DRIVER_USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--sim-profile" => {
+                driver.sim_profile = require_value(&leftover, &mut i, "--sim-profile");
             }
             "--list" => driver.list = true,
             other => {
@@ -114,8 +139,58 @@ struct ExperimentRun {
     tables: Vec<Table>,
 }
 
+/// Replays one seeded ordering of the control-plane simulator with the
+/// `sim_seeds` experiment's exact configuration, printing the full report.
+/// Exit status 0 = converged with zero invariant violations, 1 = violated —
+/// so a failing seed from the sweep reproduces with a single command.
+fn replay_sim_seed(seed: u64, profile_name: &str) -> ! {
+    use bench::experiments::sim_seeds;
+    use infinitehbd::control::sim;
+
+    let Some(message_faults) = sim_seeds::profile(profile_name) else {
+        let known: Vec<&str> = sim_seeds::profiles().iter().map(|(n, _)| *n).collect();
+        eprintln!(
+            "error: unknown --sim-profile '{profile_name}' (known: {})",
+            known.join(", ")
+        );
+        std::process::exit(2);
+    };
+    let mut config = sim_seeds::base_config();
+    config.message_faults = message_faults;
+    let report = match sim::run(&config, seed) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("error: simulation failed to run: {error}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("serialisable report")
+    );
+    let ok = report.final_converged && report.invariant_violations == 0;
+    eprintln!(
+        "sim-seed {seed} profile '{profile_name}': {} ({} arrivals, {} commands, {} sends, \
+         {} invariant violation(s), end time {:.3} s)",
+        if ok {
+            "CONVERGED"
+        } else {
+            "INVARIANT VIOLATED"
+        },
+        report.arrivals,
+        report.commands_issued,
+        report.sends,
+        report.invariant_violations,
+        report.end_time.value()
+    );
+    std::process::exit(if ok { 0 } else { 1 });
+}
+
 fn main() {
     let args = parse_driver_args();
+    if let Some(seed) = args.sim_seed {
+        replay_sim_seed(seed, &args.sim_profile);
+    }
     if args.list {
         for experiment in registry::all() {
             println!(

@@ -25,6 +25,7 @@ pub mod fig17d_aggregate_cost;
 pub mod fig18_trace_stats;
 pub mod fig20_waste_timeseries;
 pub mod sec52_allreduce_util;
+pub mod sim_seeds;
 pub mod table2_llama_mfu;
 pub mod table3_traffic_volume;
 pub mod table4_tp_vs_ep;

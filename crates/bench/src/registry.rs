@@ -104,6 +104,9 @@ pub fn all() -> &'static [Experiment] {
         ext_failover_recovery
             / "Control plane (§5.2)"
             / "Single-fault recovery cost vs ring degree K",
+        sim_seeds
+            / "Control plane (§5.2)"
+            / "Seeded adversarial-schedule convergence sweep of the control-plane simulator",
         table2_llama_mfu
             / "Training (§6.1)"
             / "Llama 3.1-405B optimal parallelism and MFU vs the TP-8 cap",
@@ -175,7 +178,7 @@ mod tests {
     #[test]
     fn registry_has_all_experiments_with_unique_names() {
         let experiments = all();
-        assert_eq!(experiments.len(), 29);
+        assert_eq!(experiments.len(), 30);
         let mut names: Vec<&str> = experiments.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();

@@ -12,6 +12,18 @@ use hbd_types::{HbdError, Microseconds, NodeId, Result};
 use ocstrx::{Bundle, BundleState};
 use serde::{Deserialize, Serialize};
 
+/// What a versioned command delivery did — see
+/// [`FabricManager::apply_versioned`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CommandOutcome {
+    /// The command was fresh and was executed; the hardware switching latency
+    /// is attached (zero when the bundle was already in the requested state).
+    Applied(Microseconds),
+    /// The command id was not newer than the last id seen for the bundle — a
+    /// duplicate or an out-of-order stale delivery. State untouched.
+    Stale,
+}
+
 /// Manages the OCSTrx bundles of one node.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FabricManager {
@@ -19,6 +31,11 @@ pub struct FabricManager {
     bundles: Vec<Bundle>,
     reconfigurations: u64,
     switching_time: Microseconds,
+    /// Per-bundle newest command id executed via
+    /// [`FabricManager::apply_versioned`] (0 = none yet; ids start at 1).
+    last_command_ids: Vec<u64>,
+    /// Deliveries rejected by the version gate (duplicates + stale).
+    stale_commands: u64,
 }
 
 impl FabricManager {
@@ -49,11 +66,14 @@ impl FabricManager {
             bundle.set_idle();
             bundles.push(bundle);
         }
+        let k = bundles.len();
         Ok(FabricManager {
             node,
             bundles,
             reconfigurations: 0,
             switching_time: Microseconds::ZERO,
+            last_command_ids: vec![0; k],
+            stale_commands: 0,
         })
     }
 
@@ -117,6 +137,47 @@ impl FabricManager {
             self.switching_time += latency;
         }
         Ok(latency)
+    }
+
+    /// Applies one command through the at-least-once delivery gate the
+    /// simulator's faulty command channel requires.
+    ///
+    /// Commands carry per-cluster monotone ids (assigned in issue order, so a
+    /// *newer* directive for the same bundle always has a *larger* id). The
+    /// fabric manager executes a delivery only when its id is strictly newer
+    /// than the last id executed on that bundle; duplicated or reordered
+    /// stale deliveries are counted and ignored — last-writer-wins, which
+    /// keeps retransmissions and overtaking messages idempotent.
+    pub fn apply_versioned(
+        &mut self,
+        command_id: u64,
+        bundle: usize,
+        action: BundleAction,
+    ) -> Result<CommandOutcome> {
+        let last = *self
+            .last_command_ids
+            .get(bundle)
+            .ok_or_else(|| HbdError::unknown_entity(format!("bundle {bundle} on {}", self.node)))?;
+        if command_id <= last {
+            self.stale_commands += 1;
+            return Ok(CommandOutcome::Stale);
+        }
+        self.last_command_ids[bundle] = command_id;
+        Ok(CommandOutcome::Applied(self.apply(bundle, action)?))
+    }
+
+    /// The newest command id executed on `bundle` (0 when no versioned
+    /// command has been executed yet).
+    pub fn last_command_id(&self, bundle: usize) -> Result<u64> {
+        self.last_command_ids
+            .get(bundle)
+            .copied()
+            .ok_or_else(|| HbdError::unknown_entity(format!("bundle {bundle} on {}", self.node)))
+    }
+
+    /// Deliveries rejected by the version gate so far.
+    pub fn stale_commands(&self) -> u64 {
+        self.stale_commands
     }
 
     /// Applies a whole node directive. The bundles switch concurrently, so the

@@ -21,6 +21,12 @@
 //! healthy segments survive a fault pattern), so a property test can assert
 //! that the control plane's ring plans realise exactly the segments the
 //! topology layer predicts.
+//!
+//! The [`sim`] module closes the loop: a seeded, mock-time discrete-event
+//! simulator drives the planner and the fabric managers through adversarial
+//! schedules (message delay, reordering, duplication, loss, faults landing
+//! mid-recovery) and checks that the deployed configuration always converges
+//! to exactly the plan a reliable synchronous control plane would produce.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,12 +35,14 @@ pub mod fabric;
 pub mod failover;
 pub mod manager;
 pub mod plan;
+pub mod sim;
 pub mod timeline;
 pub mod wiring;
 
-pub use fabric::FabricManager;
+pub use fabric::{CommandOutcome, FabricManager};
 pub use failover::FailoverPlanner;
 pub use manager::{ClusterManager, ControlLatencies, RecoveryReport};
 pub use plan::{BundleAction, NodeDirective, PortDirective, RingPlan};
+pub use sim::{MessageFaults, SimConfig, SimReport};
 pub use timeline::{ControlEvent, ControlEventKind, Timeline};
 pub use wiring::{FabricPort, Wiring};

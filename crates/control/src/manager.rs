@@ -166,6 +166,10 @@ impl ClusterManager {
     }
 
     /// Handles a node fault observed at time `at`.
+    ///
+    /// Event times must be non-decreasing; a stale `at` (earlier than
+    /// [`ClusterManager::now`]) is clamped to the current clock and the clamp
+    /// is recorded on the timeline as [`ControlEventKind::EventTimeClamped`].
     pub fn inject_fault(&mut self, node: NodeId, at: Seconds) -> Result<RecoveryReport> {
         self.check_node(node)?;
         if !self.faults.add(node) {
@@ -173,6 +177,7 @@ impl ClusterManager {
                 "{node} is already faulty"
             )));
         }
+        let at = self.observe_event_time(at);
         self.timeline.push(
             at + self.latencies.detection,
             ControlEventKind::FaultDetected { node },
@@ -180,12 +185,14 @@ impl ClusterManager {
         self.recover(at)
     }
 
-    /// Handles a node repair observed at time `at`.
+    /// Handles a node repair observed at time `at` (stale times are clamped
+    /// like [`ClusterManager::inject_fault`]).
     pub fn repair_node(&mut self, node: NodeId, at: Seconds) -> Result<RecoveryReport> {
         self.check_node(node)?;
         if !self.faults.remove(node) {
             return Err(HbdError::invalid_operation(format!("{node} is not faulty")));
         }
+        let at = self.observe_event_time(at);
         self.timeline.push(
             at + self.latencies.detection,
             ControlEventKind::RepairDetected { node },
@@ -200,10 +207,41 @@ impl ClusterManager {
         Ok(())
     }
 
+    /// Clamps an observed event time to the current clock.
+    ///
+    /// The manager processes observations strictly in arrival order, so an
+    /// event stamped earlier than `now()` (telemetry batches routinely deliver
+    /// several events with one timestamp, and monitoring pipelines reorder)
+    /// must not rewind the clock or emit a backwards timeline. Policy chosen:
+    /// **clamp and record** rather than reject — rejecting would make
+    /// legitimate same-sweep batches (see the trace-replay integration test)
+    /// hard errors, while clamping keeps the timeline monotone and leaves an
+    /// auditable [`ControlEventKind::EventTimeClamped`] record.
+    fn observe_event_time(&mut self, at: Seconds) -> Seconds {
+        if at.value() < self.clock.value() {
+            self.timeline.push(
+                self.clock,
+                ControlEventKind::EventTimeClamped { requested: at },
+            );
+            self.clock
+        } else {
+            at
+        }
+    }
+
     fn recover(&mut self, event_at: Seconds) -> Result<RecoveryReport> {
         let plan_at = event_at + self.latencies.detection + self.latencies.planning;
         let (commands, nodes_reconfigured, hardware_latency) = self.converge(plan_at)?;
-        let total_recovery = self.latencies.software_total() + hardware_latency.to_seconds();
+        // A zero-command diff means the fabric was already converged (e.g. an
+        // isolated node going faulty changes the plan's node set but no
+        // surviving directive): nothing is dispatched and no hardware
+        // switches, so recovery ends when the plan is computed — detection +
+        // planning only, no dispatch fan-out, no `RingRestored` event.
+        let total_recovery = if commands == 0 {
+            self.latencies.detection + self.latencies.planning
+        } else {
+            self.latencies.software_total() + hardware_latency.to_seconds()
+        };
         let segments = self.planner.segments(&self.faults).len();
         let report = RecoveryReport {
             event_at,
@@ -215,8 +253,10 @@ impl ClusterManager {
             faulty_nodes: self.faults.len(),
         };
         self.clock = event_at + total_recovery;
-        self.timeline
-            .push(self.clock, ControlEventKind::RingRestored { segments });
+        if commands > 0 {
+            self.timeline
+                .push(self.clock, ControlEventKind::RingRestored { segments });
+        }
         Ok(report)
     }
 
@@ -345,6 +385,88 @@ mod tests {
             })
             .sum();
         assert_eq!(loopbacks, 2);
+    }
+
+    #[test]
+    fn out_of_order_event_times_are_clamped_and_recorded() {
+        let ring = KHopRing::new(48, 4, 2).unwrap();
+        let mut mgr = ClusterManager::new(ring, ControlLatencies::production_defaults()).unwrap();
+        let first = mgr.inject_fault(NodeId(10), Seconds(100.0)).unwrap();
+        let after_first = mgr.now();
+        assert_eq!(after_first, Seconds(100.0) + first.total_recovery);
+
+        // Regression: an event stamped before the current clock used to rewind
+        // `now()` and emit a backwards timeline. It must clamp instead.
+        let second = mgr.inject_fault(NodeId(30), Seconds(50.0)).unwrap();
+        assert_eq!(second.event_at, after_first, "stale time not clamped");
+        assert!(mgr.now() >= after_first, "clock went backwards");
+        assert!(mgr.timeline().is_monotone(), "timeline not monotone");
+        let clamps: Vec<Seconds> = mgr
+            .timeline()
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                ControlEventKind::EventTimeClamped { requested } => Some(requested),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(clamps, vec![Seconds(50.0)], "clamp not recorded");
+
+        // In-order events are untouched (no spurious clamp records).
+        let third = mgr.inject_fault(NodeId(40), Seconds(1000.0)).unwrap();
+        assert_eq!(third.event_at, Seconds(1000.0));
+        assert_eq!(
+            mgr.timeline()
+                .events()
+                .iter()
+                .filter(|e| matches!(e.kind, ControlEventKind::EventTimeClamped { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn zero_command_convergence_reports_zero_work() {
+        // K = 2: faulting 8, 9, 11, 12 isolates node 10 into a singleton
+        // segment (its whole ±2 reach is faulty). Faulting 10 itself then
+        // drops the singleton from the plan without changing any surviving
+        // node's directives — a genuine zero-command convergence.
+        let ring = KHopRing::new(24, 4, 2).unwrap();
+        let mut mgr = ClusterManager::new(ring, ControlLatencies::production_defaults()).unwrap();
+        for (i, n) in [8usize, 9, 11, 12].iter().enumerate() {
+            mgr.inject_fault(NodeId(*n), Seconds(10.0 * (i + 1) as f64))
+                .unwrap();
+        }
+        let restored_before = mgr
+            .timeline()
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, ControlEventKind::RingRestored { .. }))
+            .count();
+
+        let report = mgr.inject_fault(NodeId(10), Seconds(100.0)).unwrap();
+        // Regression: the zero-command path used to charge the full software
+        // total (including dispatch) and push a phantom `RingRestored`.
+        assert_eq!(report.commands, 0);
+        assert_eq!(report.nodes_reconfigured, 0);
+        assert_eq!(report.hardware_latency, Microseconds::ZERO);
+        let latencies = ControlLatencies::production_defaults();
+        assert_eq!(
+            report.total_recovery,
+            latencies.detection + latencies.planning
+        );
+        assert_eq!(mgr.now(), Seconds(100.0) + report.total_recovery);
+        let restored_after = mgr
+            .timeline()
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, ControlEventKind::RingRestored { .. }))
+            .count();
+        assert_eq!(restored_after, restored_before, "phantom RingRestored");
+        assert!(mgr.timeline().is_monotone());
+        // The deployed plan still matches a fresh plan.
+        let fresh = mgr.planner().plan(mgr.faults()).unwrap();
+        assert_eq!(mgr.deployed_plan(), &fresh);
     }
 
     #[test]

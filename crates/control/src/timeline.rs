@@ -44,6 +44,13 @@ pub enum ControlEventKind {
         /// Number of healthy segments after recovery.
         segments: usize,
     },
+    /// An event was reported with a timestamp earlier than the manager's
+    /// clock and was clamped to the current time (the manager's documented
+    /// policy for out-of-order observations; the timeline stays monotone).
+    EventTimeClamped {
+        /// The stale timestamp the caller reported.
+        requested: Seconds,
+    },
 }
 
 /// A timestamped control-plane event.
@@ -110,6 +117,15 @@ impl Timeline {
     pub fn last_at(&self) -> Option<Seconds> {
         self.events.last().map(|e| e.at)
     }
+
+    /// Whether timestamps are non-decreasing in insertion order — the
+    /// replayability property the cluster manager's clock clamping and the
+    /// simulator's event-queue ordering both guarantee.
+    pub fn is_monotone(&self) -> bool {
+        self.events
+            .windows(2)
+            .all(|w| w[0].at.value() <= w[1].at.value())
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +155,23 @@ mod tests {
         assert_eq!(timeline.commands_applied(), 1);
         assert_eq!(timeline.total_switching_time(), Microseconds(70.0));
         assert_eq!(timeline.last_at(), Some(Seconds(1.0)));
+        assert!(timeline.is_monotone());
+    }
+
+    #[test]
+    fn monotonicity_check_catches_backwards_timestamps() {
+        let mut timeline = Timeline::new();
+        assert!(timeline.is_monotone());
+        timeline.push(Seconds(2.0), ControlEventKind::PlanComputed { commands: 0 });
+        timeline.push(Seconds(2.0), ControlEventKind::RingRestored { segments: 1 });
+        assert!(timeline.is_monotone());
+        timeline.push(
+            Seconds(1.0),
+            ControlEventKind::EventTimeClamped {
+                requested: Seconds(1.0),
+            },
+        );
+        assert!(!timeline.is_monotone());
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! * [`model`] — the i.i.d. node-fault model used for the "waste ratio vs fault
 //!   ratio" sweeps (Figs 14 and 22),
 //! * [`montecarlo`] — the parallel Monte-Carlo fan-out over (ratio, trial)
-//!   shards with one deterministic RNG stream per shard.
+//!   shards with one deterministic RNG stream per shard,
+//! * [`sim_events`] — trace → fault/repair edge-stream adapters for the
+//!   control-plane discrete-event simulator (`control::sim`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +32,7 @@ pub mod generator;
 pub mod io;
 pub mod model;
 pub mod montecarlo;
+pub mod sim_events;
 pub mod stats;
 pub mod trace;
 
@@ -39,5 +42,6 @@ pub use generator::{GeneratorConfig, TraceGenerator};
 pub use io::{from_csv, from_json, to_csv, to_json};
 pub use model::IidFaultModel;
 pub use montecarlo::{shards, sweep_means, Shard};
+pub use sim_events::{generate_events, trace_events, NodeEvent, NodeEventKind};
 pub use stats::{TraceStats, DAY_SECONDS};
 pub use trace::FaultTrace;

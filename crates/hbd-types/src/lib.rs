@@ -17,10 +17,12 @@ pub mod config;
 pub mod error;
 pub mod ids;
 pub mod par;
+pub mod sim;
 pub mod units;
 
 pub use config::{ClusterConfig, GpuSpec, NodeSize};
 pub use error::{HbdError, Result};
 pub use ids::{GpuId, LinkId, NodeId, SwitchId, ToRId, TrxId};
 pub use par::{par_map, par_map_range, par_map_seeded, stream_seed};
+pub use sim::{EventQueue, SimClock};
 pub use units::{Bytes, Dollars, GBps, Gbps, Microseconds, Seconds, Watts};

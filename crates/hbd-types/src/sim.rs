@@ -1,0 +1,207 @@
+//! Deterministic discrete-event primitives: a mock simulation clock and a
+//! priority event queue with a total, reproducible ordering.
+//!
+//! These are the substrate of the control-plane fault-injection simulator
+//! (`control::sim`) and of any future online-lifecycle simulator: events are
+//! ordered by `(timestamp, insertion sequence)`, so two events scheduled for
+//! the same instant pop in the order they were scheduled — no dependence on
+//! heap internals, hash iteration order or pointer values. Timestamps are
+//! compared with [`f64::total_cmp`], so the ordering is total even in the
+//! presence of pathological float values.
+
+use crate::Seconds;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A monotone mock clock for discrete-event simulation.
+///
+/// The clock only moves forward: [`SimClock::advance_to`] clamps rewinds to
+/// the current time and counts them, so a simulation driving the clock from a
+/// well-ordered event queue never observes time running backwards, and a
+/// mis-ordered caller is detectable through [`SimClock::rewinds_clamped`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimClock {
+    now: Seconds,
+    rewinds_clamped: u64,
+}
+
+impl SimClock {
+    /// A clock starting at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> Seconds {
+        self.now
+    }
+
+    /// Advances the clock to `at`, returning the effective (monotone) time:
+    /// `max(at, now)`. A rewind attempt is clamped and counted, never applied.
+    pub fn advance_to(&mut self, at: Seconds) -> Seconds {
+        if at.value() < self.now.value() {
+            self.rewinds_clamped += 1;
+        } else {
+            self.now = at;
+        }
+        self.now
+    }
+
+    /// How many [`SimClock::advance_to`] calls asked for a time in the past.
+    pub fn rewinds_clamped(&self) -> u64 {
+        self.rewinds_clamped
+    }
+}
+
+/// One scheduled entry: ordering key is `(at, seq)`, the payload is opaque.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    at: Seconds,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: `BinaryHeap` is a max-heap, and we want the earliest
+        // (at, seq) on top. `total_cmp` keeps the order total for every f64.
+        other
+            .at
+            .value()
+            .total_cmp(&self.at.value())
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// Events pop in ascending timestamp order; ties break by insertion order
+/// (first scheduled, first popped). Determinism is by construction: the pop
+/// order is a pure function of the push sequence.
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `item` at time `at`.
+    pub fn push(&mut self, at: Seconds, item: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, item });
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(Seconds, T)> {
+        self.heap.pop().map(|e| (e.at, e.item))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Seconds> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Seconds(3.0), "c");
+        q.push(Seconds(1.0), "a");
+        q.push(Seconds(2.0), "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(Seconds(1.0)));
+        assert_eq!(q.pop(), Some((Seconds(1.0), "a")));
+        assert_eq!(q.pop(), Some((Seconds(2.0), "b")));
+        assert_eq!(q.pop(), Some((Seconds(3.0), "c")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn simultaneous_events_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..50u32 {
+            q.push(Seconds(7.0), i);
+        }
+        // Earlier events at the same instant keep priority over later ones.
+        q.push(Seconds(6.9), 999);
+        assert_eq!(q.pop(), Some((Seconds(6.9), 999)));
+        for i in 0..50u32 {
+            assert_eq!(q.pop(), Some((Seconds(7.0), i)));
+        }
+    }
+
+    #[test]
+    fn pop_order_is_a_pure_function_of_the_push_sequence() {
+        let schedule = [(2.5, 0u32), (0.5, 1), (2.5, 2), (1.0, 3), (0.5, 4)];
+        let drain = |sched: &[(f64, u32)]| {
+            let mut q = EventQueue::new();
+            for &(at, id) in sched {
+                q.push(Seconds(at), id);
+            }
+            let mut order = Vec::new();
+            while let Some((_, id)) = q.pop() {
+                order.push(id);
+            }
+            order
+        };
+        assert_eq!(drain(&schedule), drain(&schedule));
+        assert_eq!(drain(&schedule), vec![1, 4, 3, 0, 2]);
+    }
+
+    #[test]
+    fn clock_is_monotone_and_counts_rewind_attempts() {
+        let mut clock = SimClock::new();
+        assert_eq!(clock.now(), Seconds::ZERO);
+        assert_eq!(clock.advance_to(Seconds(5.0)), Seconds(5.0));
+        // A rewind is clamped to the current time, not applied.
+        assert_eq!(clock.advance_to(Seconds(3.0)), Seconds(5.0));
+        assert_eq!(clock.now(), Seconds(5.0));
+        assert_eq!(clock.rewinds_clamped(), 1);
+        assert_eq!(clock.advance_to(Seconds(5.0)), Seconds(5.0));
+        assert_eq!(clock.rewinds_clamped(), 1);
+    }
+}

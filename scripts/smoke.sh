@@ -61,4 +61,15 @@ cargo run --release --bin experiments -- \
   --compare bench_results.json --warn-over 2.0
 diff -u EXPERIMENTS.md target/smoke/EXPERIMENTS.full.md
 
+echo "==> control-plane sim seed replay gate"
+# Replays the two regression seeds pinned in crates/control/src/sim.rs
+# through the public CLI: the driver exits non-zero if the run misses
+# convergence or records any invariant violation. The full-registry
+# regeneration above already re-sweeps all 1200 seeded orderings — its
+# violations column gates through the EXPERIMENTS.md diff.
+cargo run --release --bin experiments -- \
+  --sim-seed 260778234563238397 --sim-profile clean > /dev/null
+cargo run --release --bin experiments -- \
+  --sim-seed 1495124568307875091 --sim-profile reorder > /dev/null
+
 echo "All smoke checks passed."

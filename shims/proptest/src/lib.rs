@@ -7,9 +7,15 @@
 //! `prop_flat_map`, [`strategy::Just`], range strategies, tuple strategies and
 //! [`collection::vec`] / [`collection::btree_set`].
 //!
-//! Differences from real proptest: failing inputs are *not* shrunk (the
-//! failing case is printed as-is), and sampling is deterministic per test
-//! function (seeded from the test name) so CI failures reproduce locally.
+//! Differences from real proptest: failing inputs are *not* shrunk — instead
+//! the concrete failing case is printed in copy-pasteable form (`Debug` of
+//! every bound input, plus the deterministic seed and case index that
+//! regenerate it) — and sampling is deterministic per test function (seeded
+//! from the test name) so CI failures reproduce locally. Panics inside the
+//! test body are caught, annotated with the same failing-case context on
+//! stderr, and re-raised. The one extra requirement over real proptest:
+//! every strategy's value type must implement `Debug` (all of real
+//! proptest's own strategies do).
 
 #![forbid(unsafe_code)]
 
@@ -50,20 +56,59 @@ macro_rules! __proptest_cases {
             $(#[$meta])*
             fn $name() {
                 let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __seed = $crate::test_runner::deterministic_seed(stringify!($name));
                 let mut __rng = $crate::test_runner::deterministic_rng(stringify!($name));
                 let mut __rejected: u32 = 0;
                 for __case in 0..__config.cases {
-                    $( let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng); )+
-                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                        (|| { $body ::std::result::Result::Ok(()) })();
+                    // Capture every sampled input in `Debug` form *before* the
+                    // body runs, so both failures and panics can report the
+                    // concrete failing case.
+                    let mut __inputs: ::std::vec::Vec<::std::string::String> =
+                        ::std::vec::Vec::new();
+                    $(
+                        let $pat = {
+                            let __value = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                            __inputs.push(::std::format!(
+                                "{} = {:?}", stringify!($pat), &__value
+                            ));
+                            __value
+                        };
+                    )+
+                    let __replay = ::std::format!(
+                        "failing case:\n    {}\n  replay: seed {:#018x} \
+                         (FNV-1a of the test name), case index {} — \
+                         `StdRng::seed_from_u64({:#018x})` and re-draw the \
+                         strategies {} time(s), or paste the inputs above \
+                         into a unit test",
+                        __inputs.join("\n    "), __seed, __case, __seed, __case + 1
+                    );
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                                $body ::std::result::Result::Ok(())
+                            }
+                        )
+                    );
+                    let __outcome = match __outcome {
+                        ::std::result::Result::Ok(__inner) => __inner,
+                        ::std::result::Result::Err(__panic) => {
+                            // The body panicked (e.g. an unwrap): annotate the
+                            // panic with the failing case, then re-raise it.
+                            ::std::eprintln!(
+                                "proptest '{}' panicked at case {}/{}; {}",
+                                stringify!($name), __case + 1, __config.cases, __replay
+                            );
+                            ::std::panic::resume_unwind(__panic);
+                        }
+                    };
                     match __outcome {
                         ::std::result::Result::Ok(()) => {}
                         ::std::result::Result::Err(__err) if __err.is_rejection() => {
                             __rejected += 1;
                         }
                         ::std::result::Result::Err(__err) => panic!(
-                            "proptest '{}' failed at case {}/{}: {}",
-                            stringify!($name), __case + 1, __config.cases, __err
+                            "proptest '{}' failed at case {}/{}: {}\n  {}",
+                            stringify!($name), __case + 1, __config.cases, __err, __replay
                         ),
                     }
                 }

@@ -66,14 +66,21 @@ impl fmt::Display for TestCaseError {
 /// The result type of a single property-test case body.
 pub type TestCaseResult = Result<(), TestCaseError>;
 
-/// Builds the deterministic per-test RNG (seeded from the test name with
-/// FNV-1a, so every test function explores a different but reproducible
-/// stream).
-pub fn deterministic_rng(test_name: &str) -> StdRng {
+/// The deterministic per-test seed: FNV-1a of the test name. Printed on
+/// failure so a failing case is replayable (`StdRng::seed_from_u64(seed)` and
+/// re-drawing the reported number of cases reproduces the inputs exactly).
+pub fn deterministic_seed(test_name: &str) -> u64 {
     let mut hash: u64 = 0xcbf29ce484222325;
     for byte in test_name.bytes() {
         hash ^= byte as u64;
         hash = hash.wrapping_mul(0x100000001b3);
     }
-    StdRng::seed_from_u64(hash)
+    hash
+}
+
+/// Builds the deterministic per-test RNG (seeded from the test name via
+/// [`deterministic_seed`], so every test function explores a different but
+/// reproducible stream).
+pub fn deterministic_rng(test_name: &str) -> StdRng {
+    StdRng::seed_from_u64(deterministic_seed(test_name))
 }

@@ -1,0 +1,68 @@
+//! The shim must report the concrete failing case (inputs + seed) in a
+//! copy-pasteable form, both for `prop_assert!` failures and for panics
+//! inside the test body — the no-shrinking replacement for real proptest's
+//! minimised counterexamples.
+
+use proptest::{prop_assert, proptest};
+
+proptest! {
+    // No `#[test]` attribute: these stay plain functions so the real tests
+    // below can call them under `catch_unwind` and inspect the panic payload.
+    fn always_failing_property(x in 10u32..20, pair in (0u32..5, 100u32..105)) {
+        let _ = pair;
+        prop_assert!(x >= 20, "x is always below 20");
+    }
+
+    // The unconditional panic makes the macro's per-case bookkeeping after
+    // the body unreachable — exactly the scenario under test.
+    #[allow(unreachable_code)]
+    fn always_panicking_property(x in 0u32..5) {
+        let _ = x;
+        panic!("boom from the body");
+    }
+
+    fn passing_property(x in 0u32..100) {
+        prop_assert!(x < 100);
+    }
+}
+
+fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default()
+}
+
+#[test]
+fn failure_reports_inputs_seed_and_case_index() {
+    let err = std::panic::catch_unwind(always_failing_property).unwrap_err();
+    let msg = panic_message(err);
+    // The concrete inputs, one per binder, in Debug form.
+    assert!(msg.contains("failing case:"), "{msg}");
+    assert!(msg.contains("x = 1"), "{msg}"); // some value in 10..20
+    assert!(msg.contains("pair = ("), "{msg}");
+    // The replay recipe: deterministic seed plus case index.
+    assert!(msg.contains("replay: seed 0x"), "{msg}");
+    assert!(msg.contains("case index 0"), "{msg}");
+    assert!(msg.contains("seed_from_u64"), "{msg}");
+    // The original assertion context is still there.
+    assert!(msg.contains("x is always below 20"), "{msg}");
+    assert!(
+        msg.contains("failed at case 1/"),
+        "case counter missing: {msg}"
+    );
+}
+
+#[test]
+fn body_panics_keep_their_payload() {
+    // The failing-case context goes to stderr; the original panic payload
+    // must survive unchanged so `#[should_panic(expected = ...)]` upstream
+    // keeps working.
+    let err = std::panic::catch_unwind(always_panicking_property).unwrap_err();
+    assert_eq!(panic_message(err), "boom from the body");
+}
+
+#[test]
+fn passing_properties_stay_silent() {
+    passing_property();
+}
