@@ -14,12 +14,14 @@
 //! stdout only and no files are written (a partial `EXPERIMENTS.md` would
 //! masquerade as the full evaluation).
 //!
-//! With `--sim-seed <N>` the driver instead replays exactly one ordering of
-//! the control-plane fault-injection simulator (the `sim_seeds` experiment's
-//! configuration, profile selected by `--sim-profile`, default
-//! `adversarial`), prints the full report and exits non-zero if the
-//! convergence invariant was violated — the one-command reproduction path
-//! for any failing seed the sweep reports.
+//! With `--sim-seed <N> --sim-profile <name>` the driver instead replays
+//! exactly one ordering of the control-plane fault-injection simulator (the
+//! `sim_seeds` experiment's configuration under the named message-fault
+//! profile), prints the full report and exits non-zero if the convergence
+//! invariant was violated — the one-command reproduction path for any failing
+//! seed the sweep reports. The two flags are only meaningful together, so
+//! giving exactly one of them is a usage error (a lone `--sim-profile` used
+//! to be silently ignored; a lone `--sim-seed` silently picked a profile).
 
 use bench::registry::{self, RunCtx};
 use bench::{HarnessArgs, Table, USAGE};
@@ -28,7 +30,7 @@ use std::time::Instant;
 const DRIVER_USAGE: &str = "usage: experiments [--seed <u64>] [--threads <n>] [--scale <f64>] \
      [--json] [--only <substring>] [--md <path>] [--out <path>] [--bench-json <path>] \
      [--compare <old bench_results.json>] [--warn-over <factor>] [--list] \
-     [--sim-seed <u64> [--sim-profile <name>]]";
+     [--sim-seed <u64> --sim-profile <name>]";
 
 struct DriverArgs {
     common: HarnessArgs,
@@ -40,7 +42,7 @@ struct DriverArgs {
     warn_over: Option<f64>,
     list: bool,
     sim_seed: Option<u64>,
-    sim_profile: String,
+    sim_profile: Option<String>,
 }
 
 fn parse_driver_args() -> DriverArgs {
@@ -62,7 +64,7 @@ fn parse_driver_args() -> DriverArgs {
         warn_over: None,
         list: false,
         sim_seed: None,
-        sim_profile: "adversarial".to_string(),
+        sim_profile: None,
     };
     let mut i = 0;
     while i < leftover.len() {
@@ -105,7 +107,7 @@ fn parse_driver_args() -> DriverArgs {
                 }
             }
             "--sim-profile" => {
-                driver.sim_profile = require_value(&leftover, &mut i, "--sim-profile");
+                driver.sim_profile = Some(require_value(&leftover, &mut i, "--sim-profile"));
             }
             "--list" => driver.list = true,
             other => {
@@ -115,7 +117,64 @@ fn parse_driver_args() -> DriverArgs {
         }
         i += 1;
     }
+    // Cross-flag validation: reject combinations that used to be silently
+    // ignored (or silently defaulted) before any experiment runs.
+    match (&driver.sim_seed, &driver.sim_profile) {
+        (Some(_), None) => {
+            eprintln!(
+                "error: --sim-seed requires --sim-profile <name> (run the sim_seeds experiment \
+                 or see its module docs for the profile names)\n{DRIVER_USAGE}"
+            );
+            std::process::exit(2);
+        }
+        (None, Some(_)) => {
+            eprintln!(
+                "error: --sim-profile is only meaningful together with --sim-seed <u64>\
+                 \n{DRIVER_USAGE}"
+            );
+            std::process::exit(2);
+        }
+        _ => {}
+    }
+    if driver.warn_over.is_some() && driver.compare.is_none() {
+        eprintln!(
+            "error: --warn-over needs a --compare <old bench_results.json> baseline to check \
+             against\n{DRIVER_USAGE}"
+        );
+        std::process::exit(2);
+    }
     driver
+}
+
+/// Eagerly validates a `--compare` baseline that `--warn-over` will gate on:
+/// it must be readable, parse as JSON and carry at least one experiment
+/// wall-clock. Without `--warn-over` a broken baseline still degrades to a
+/// skipped (informational) comparison, but a gating flag pointing at nothing
+/// is a usage error — and it fails *before* the experiments run, not after.
+fn validate_compare_baseline(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|error| {
+        eprintln!("error: --warn-over baseline {path} is unreadable: {error}\n{DRIVER_USAGE}");
+        std::process::exit(2);
+    });
+    let old: serde_json::Value = serde_json::from_str(&text).unwrap_or_else(|error| {
+        eprintln!("error: --warn-over baseline {path} is malformed JSON: {error}\n{DRIVER_USAGE}");
+        std::process::exit(2);
+    });
+    let has_wall_clocks = old
+        .get("experiments")
+        .and_then(|e| e.as_array())
+        .is_some_and(|records| {
+            records
+                .iter()
+                .any(|r| r.get("name").is_some() && r.get("wall_ms").is_some())
+        });
+    if !has_wall_clocks {
+        eprintln!(
+            "error: --warn-over baseline {path} has no experiment wall-clocks to compare \
+             against\n{DRIVER_USAGE}"
+        );
+        std::process::exit(2);
+    }
 }
 
 fn require_value(argv: &[String], i: &mut usize, flag: &str) -> String {
@@ -189,7 +248,12 @@ fn replay_sim_seed(seed: u64, profile_name: &str) -> ! {
 fn main() {
     let args = parse_driver_args();
     if let Some(seed) = args.sim_seed {
-        replay_sim_seed(seed, &args.sim_profile);
+        let profile = args.sim_profile.as_deref().expect("validated at parse");
+        replay_sim_seed(seed, profile);
+    }
+    if args.warn_over.is_some() {
+        let path = args.compare.as_deref().expect("validated at parse");
+        validate_compare_baseline(path);
     }
     if args.list {
         for experiment in registry::all() {
@@ -246,8 +310,6 @@ fn main() {
 
     if let Some(path) = args.compare.as_deref() {
         print_wall_clock_deltas(path, &runs, args.warn_over);
-    } else if args.warn_over.is_some() {
-        eprintln!("warn-over: no --compare baseline given, nothing to check");
     }
 
     if args.common.json {
@@ -316,7 +378,9 @@ fn load_microbenches(path: Option<&str>) -> Vec<serde_json::Value> {
 /// `bench_results.json` to stderr. Strictly informational and non-fatal —
 /// wall-clock is machine-dependent, so the report surfaces regressions for a
 /// human (or CI log reader) without gating anything: unreadable or malformed
-/// baselines degrade to a warning.
+/// baselines degrade to a warning. (With `--warn-over` the baseline has
+/// already been validated up front, so the degrade paths are plain-`--compare`
+/// only.)
 ///
 /// With `warn_over = Some(factor)` the report additionally ends with a
 /// visible summary of every experiment whose wall-clock grew to at least

@@ -1,0 +1,6 @@
+//! Thin wrapper: runs the registered `ext_lifecycle_churn` experiment
+//! (see `bench::experiments::ext_lifecycle_churn`).
+
+fn main() {
+    bench::run_cli("ext_lifecycle_churn");
+}

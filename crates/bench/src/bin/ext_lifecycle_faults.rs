@@ -1,0 +1,6 @@
+//! Thin wrapper: runs the registered `ext_lifecycle_faults` experiment
+//! (see `bench::experiments::ext_lifecycle_faults`).
+
+fn main() {
+    bench::run_cli("ext_lifecycle_faults");
+}

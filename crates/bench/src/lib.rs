@@ -11,7 +11,7 @@
 //! thread count**: stochastic sweeps draw from per-shard RNG streams derived
 //! from the master seed (see [`par`]), so `--threads 1` and `--threads N`
 //! produce byte-identical JSON — the property the workspace-level
-//! `integration_determinism` suite asserts for all 30 registered experiments.
+//! `integration_determinism` suite asserts for all 33 registered experiments.
 
 pub mod experiments;
 pub mod registry;

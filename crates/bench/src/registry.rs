@@ -153,6 +153,15 @@ pub fn all() -> &'static [Experiment] {
         ext_replay_scale
             / "Traffic engine (ext)"
             / "Replay-engine cost counters and throughput vs job-mix size",
+        ext_lifecycle_slo
+            / "Lifecycle (ext)"
+            / "Online job-lifecycle SLOs per admission policy (FIFO / backfill / defrag)",
+        ext_lifecycle_churn
+            / "Lifecycle (ext)"
+            / "Lifecycle queueing and goodput vs offered load (saturation knee)",
+        ext_lifecycle_faults
+            / "Lifecycle (ext)"
+            / "Lifecycle churn and SLOs vs steady-state fault ratio",
         fig17d_aggregate_cost / "Economics (§6.4)" / "Normalized aggregate cost vs fault ratio",
         table6_cost_power / "Economics (§6.4)" / "Interconnect cost and power per GPU and per GBps",
         table7_waste_bound
@@ -178,7 +187,7 @@ mod tests {
     #[test]
     fn registry_has_all_experiments_with_unique_names() {
         let experiments = all();
-        assert_eq!(experiments.len(), 30);
+        assert_eq!(experiments.len(), 33);
         let mut names: Vec<&str> = experiments.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();

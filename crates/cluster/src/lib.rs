@@ -8,18 +8,27 @@
 //! * [`job`] — maximum supported job scale (Fig 15) and job fault-waiting rate
 //!   (Figs 16 / 23),
 //! * [`theory`] — the Appendix-C closed-form upper bound on InfiniteHBD's
-//!   expected waste ratio (Table 7).
+//!   expected waste ratio (Table 7),
+//! * [`lifecycle`] — an online discrete-event simulator of job arrivals,
+//!   departures, faults and migrations sharing one cluster (beyond the
+//!   paper's static mixes: queueing delay, placement latency, fragmentation
+//!   and goodput SLOs).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod job;
+pub mod lifecycle;
 pub mod theory;
 pub mod waste;
 
 pub use job::{
     fault_waiting_rate, fault_waiting_rate_par, max_job_over_trace, max_job_over_trace_par,
     max_supported_job,
+};
+pub use lifecycle::{
+    simulate, JobArrival, JobRecord, JobSpec, JobStatus, JobTemplate, LifecycleConfig,
+    LifecycleOutcome, PlacementLatencyModel, Workload,
 };
 pub use theory::waste_ratio_upper_bound;
 pub use waste::{

@@ -135,16 +135,33 @@ impl MixOutcome {
             .count()
     }
 
-    /// Histogram of per-link peak utilisation: `edges` are the right-open
-    /// bucket boundaries, the last bucket catches everything at or above the
-    /// final edge. Links that never carried traffic are excluded.
+    /// Histogram of per-link peak utilisation over the given bucket `edges`.
+    ///
+    /// Boundary convention: buckets are **right-open** — a utilisation `u`
+    /// lands in the first bucket whose edge `e` satisfies `u < e`, so a value
+    /// exactly on an edge lands in the bucket *at or above* that edge, and
+    /// the last bucket catches everything at or above the final edge. Links
+    /// that never carried traffic (`u <= 0`) are excluded.
+    ///
+    /// The edges are sanitised before binning: non-finite edges are dropped,
+    /// the rest are sorted and de-duplicated. The returned histogram always
+    /// has `sanitised_edges + 1` buckets (a single catch-all bucket for empty
+    /// or all-invalid `edges`) — unsorted or duplicate edges therefore change
+    /// the *shape*, never silently mis-bin. The previous implementation
+    /// scanned the edges in input order, so an unsorted list could bin a
+    /// mid-range utilisation into the wrong bucket and a duplicate edge
+    /// produced a phantom always-empty bucket.
     pub fn utilization_histogram(&self, edges: &[f64]) -> Vec<usize> {
+        let mut edges: Vec<f64> = edges.iter().copied().filter(|e| e.is_finite()).collect();
+        edges.sort_by(f64::total_cmp);
+        edges.dedup();
         let mut counts = vec![0usize; edges.len() + 1];
         for &util in &self.link_peak_utilization {
             if util <= 0.0 {
                 continue;
             }
-            let bucket = edges.iter().position(|&e| util < e).unwrap_or(edges.len());
+            // Sorted edges: partition_point is the first bucket with util < e.
+            let bucket = edges.partition_point(|&e| e <= util);
             counts[bucket] += 1;
         }
         counts
@@ -760,6 +777,101 @@ mod tests {
         assert!(stats.solver_rounds >= stats.full_solves);
         assert!(stats.rounds_per_event() > 0.0);
         assert_eq!(stats.epoch_instances, 2);
+    }
+
+    #[test]
+    fn an_empty_mix_replays_to_well_defined_stats() {
+        // Zero jobs: no panic, no division by zero — the degenerate mix is a
+        // legal input with neutral aggregates.
+        let net = network();
+        let outcome = replay_mix(&net, &[]).unwrap();
+        assert!(outcome.jobs.is_empty());
+        assert_eq!(outcome.makespan, Seconds::ZERO);
+        assert_eq!(outcome.mean_slowdown(), 1.0);
+        assert_eq!(outcome.max_slowdown(), 1.0);
+        assert_eq!(outcome.stats.events, 0);
+        assert_eq!(outcome.stats.rounds_per_event(), 0.0);
+        assert_eq!(outcome.hot_links(0.5), 0);
+        // Every histogram bucket of an empty mix is empty (links carried
+        // nothing), including the degenerate no-edges histogram.
+        assert_eq!(outcome.utilization_histogram(&[]), vec![0]);
+        assert_eq!(outcome.utilization_histogram(&[0.5]), vec![0, 0]);
+    }
+
+    #[test]
+    fn zero_flow_and_zero_byte_epochs_do_not_produce_nan_slowdowns() {
+        let net = network();
+        // A job alternating a real epoch with an empty one and a job whose
+        // only flow carries zero bytes: both isolated baselines contain
+        // zero-time epochs, so the slowdown/stretch math must guard the
+        // division instead of emitting NaN/Inf.
+        let mixed = JobTraffic::new(
+            "mixed",
+            vec![
+                TrafficEpoch::new("empty", Vec::new()),
+                TrafficEpoch::new(
+                    "real",
+                    vec![Flow::new(NodeId(1), NodeId(0), Bytes::from_gib(1.0))],
+                ),
+            ],
+            2,
+        );
+        let zero_bytes = job(
+            "zero-bytes",
+            vec![Flow::new(NodeId(2), NodeId(0), Bytes(0.0))],
+            2,
+        );
+        let outcome = replay_mix(&net, &[mixed, zero_bytes]).unwrap();
+        for job in &outcome.jobs {
+            assert!(job.slowdown.is_finite(), "{job:?}");
+            assert!(job.mean_stretch.is_finite(), "{job:?}");
+            assert!(job.p99_stretch.is_finite(), "{job:?}");
+            assert!(job.slowdown >= 1.0 - 1e-12, "{job:?}");
+        }
+        // The zero-byte job never touches the DCN: no interference at all.
+        assert!((outcome.jobs[1].slowdown - 1.0).abs() < 1e-12);
+        assert!(outcome.mean_slowdown().is_finite());
+        assert_eq!(outcome.stats.epoch_instances, 6);
+    }
+
+    fn outcome_with_peaks(peaks: &[f64]) -> MixOutcome {
+        MixOutcome {
+            jobs: Vec::new(),
+            makespan: Seconds::ZERO,
+            link_peak_utilization: peaks.to_vec(),
+            stats: ReplayStats::default(),
+        }
+    }
+
+    #[test]
+    fn histogram_bins_are_right_open_with_on_edge_values_going_up() {
+        let outcome = outcome_with_peaks(&[0.2, 0.5, 0.7, 0.95, 1.0]);
+        // 0.5 sits exactly on an edge: right-open bins put it in the bucket
+        // at or above the edge, and 0.95+ lands in the final catch-all.
+        assert_eq!(
+            outcome.utilization_histogram(&[0.5, 0.95]),
+            vec![1, 2, 2],
+            "[0, 0.5) [0.5, 0.95) [0.95, inf)"
+        );
+    }
+
+    #[test]
+    fn histogram_sanitises_unsorted_duplicate_and_non_finite_edges() {
+        let outcome = outcome_with_peaks(&[0.2, 0.7, 1.0]);
+        let sorted = outcome.utilization_histogram(&[0.5, 0.95]);
+        // Unsorted edges used to bin mid-range values into the wrong bucket
+        // (a linear scan in input order); now they sanitise to the same bins.
+        assert_eq!(outcome.utilization_histogram(&[0.95, 0.5]), sorted);
+        // Duplicate edges used to add a phantom always-empty bucket.
+        assert_eq!(outcome.utilization_histogram(&[0.5, 0.5, 0.95]), sorted);
+        // Non-finite edges are dropped rather than poisoning the comparison.
+        assert_eq!(
+            outcome.utilization_histogram(&[f64::NAN, 0.5, f64::INFINITY, 0.95]),
+            sorted
+        );
+        // Empty (or all-invalid) edges collapse to one catch-all bucket.
+        assert_eq!(outcome.utilization_histogram(&[]), vec![3]);
+        assert_eq!(outcome.utilization_histogram(&[f64::NAN]), vec![3]);
     }
 
     #[test]

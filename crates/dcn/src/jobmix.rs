@@ -10,7 +10,7 @@
 //! lowering ([`crate::traffic::TrafficMatrix`]) and the replay engine
 //! ([`crate::engine`]).
 
-use hbd_types::Result;
+use hbd_types::{NodeId, Result};
 use orchestrator::{greedy_placement, FatTreeOrchestrator, OrchestrationRequest, PlacementScheme};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -44,6 +44,108 @@ pub struct PlacedJob {
     pub scheme: PlacementScheme,
 }
 
+/// Incrementally maintained exclusion state for an *online* job mix.
+///
+/// [`place_mix`] folds placements into an exclusion set once, in arrival
+/// order, and throws the state away. A live cluster needs the same view
+/// maintained incrementally — jobs depart, nodes fail and are repaired — so
+/// the ledger tracks *why* each node is excluded (an active fault, an active
+/// placement, or both) and mirrors the "any reason" union in a dense
+/// [`FaultSet`] ready to hand to the orchestrator. All four transitions are
+/// O(nodes touched); [`ExclusionLedger::excluded`] is O(1).
+///
+/// The invariant `excluded == faulty ∪ placed` is pinned bit-for-bit against
+/// a rebuild-from-scratch oracle by the `jobmix_ledger_properties` proptest
+/// suite.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExclusionLedger {
+    faulty: FaultSet,
+    placed: FaultSet,
+    excluded: FaultSet,
+}
+
+impl ExclusionLedger {
+    /// An empty ledger: no faults, no placements.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A ledger seeded with an initial fault set.
+    pub fn with_faults(faults: &FaultSet) -> Self {
+        ExclusionLedger {
+            faulty: faults.clone(),
+            placed: FaultSet::new(),
+            excluded: faults.clone(),
+        }
+    }
+
+    /// Marks `node` faulty. Returns `true` if the node was healthy before.
+    /// A node can be faulty and placed at the same time (a fault striking a
+    /// running job); it stays excluded until *both* reasons are gone.
+    pub fn fault(&mut self, node: NodeId) -> bool {
+        self.excluded.add(node);
+        self.faulty.add(node)
+    }
+
+    /// Marks `node` repaired. Returns `true` if the node was faulty before.
+    /// The node becomes available again only if no placement still owns it.
+    pub fn repair(&mut self, node: NodeId) -> bool {
+        let was_faulty = self.faulty.remove(node);
+        if was_faulty && !self.placed.is_faulty(node) {
+            self.excluded.remove(node);
+        }
+        was_faulty
+    }
+
+    /// Folds a placement into the exclusion set (the job starts running).
+    /// The scheme's nodes must not already be placed — placements are
+    /// disjoint by construction.
+    pub fn place(&mut self, scheme: &PlacementScheme) {
+        for group in &scheme.groups {
+            for &node in &group.nodes {
+                let newly = self.placed.add(node);
+                debug_assert!(newly, "node {node} placed twice");
+                self.excluded.add(node);
+            }
+        }
+    }
+
+    /// Removes a placement from the exclusion set (the job departs or is
+    /// migrated away). Nodes that are still faulty stay excluded.
+    pub fn release(&mut self, scheme: &PlacementScheme) {
+        for group in &scheme.groups {
+            for &node in &group.nodes {
+                let was = self.placed.remove(node);
+                debug_assert!(was, "node {node} released but not placed");
+                if !self.faulty.is_faulty(node) {
+                    self.excluded.remove(node);
+                }
+            }
+        }
+    }
+
+    /// The union of faulty and placed nodes — what the next orchestration
+    /// must avoid.
+    pub fn excluded(&self) -> &FaultSet {
+        &self.excluded
+    }
+
+    /// The currently faulty nodes.
+    pub fn faulty(&self) -> &FaultSet {
+        &self.faulty
+    }
+
+    /// Number of nodes currently owned by placements.
+    pub fn placed_nodes(&self) -> usize {
+        self.placed.len()
+    }
+
+    /// Whether `node` is currently owned by a placement.
+    pub fn is_placed(&self, node: NodeId) -> bool {
+        self.placed.is_faulty(node)
+    }
+}
+
 /// Places every job of the mix in order, excluding faulty nodes and the nodes
 /// already taken by earlier jobs. Fails if any job cannot be satisfied — the
 /// mix is all-or-nothing, matching a gang-scheduled cluster.
@@ -57,21 +159,36 @@ pub fn place_mix(
     faults: &FaultSet,
     threads: usize,
 ) -> Result<Vec<PlacedJob>> {
-    let mut excluded = faults.clone();
+    let mut ledger = ExclusionLedger::with_faults(faults);
     let mut placed = Vec::with_capacity(jobs.len());
     for job in jobs {
-        let scheme = orchestrator.orchestrate_par(&job.request, &excluded, threads)?;
-        for group in &scheme.groups {
-            for &node in &group.nodes {
-                excluded.add(node);
-            }
-        }
+        let scheme = orchestrator.orchestrate_par(&job.request, ledger.excluded(), threads)?;
+        ledger.place(&scheme);
         placed.push(PlacedJob {
             name: job.name.clone(),
             scheme,
         });
     }
     Ok(placed)
+}
+
+/// Splits a (possibly partial) mix placement into the jobs whose request was
+/// fully satisfied and the count of jobs that fell short — the accounting the
+/// interference experiments apply to [`greedy_place_mix`] output before
+/// lowering traffic (a short TP group would otherwise produce degenerate
+/// flows downstream).
+pub fn satisfied_jobs(placed: Vec<PlacedJob>, jobs: &[MixJob]) -> (Vec<PlacedJob>, usize) {
+    debug_assert_eq!(placed.len(), jobs.len());
+    let mut satisfied = Vec::with_capacity(placed.len());
+    let mut dropped = 0;
+    for (job, placement) in jobs.iter().zip(placed) {
+        if placement.scheme.satisfies(job.request.job_nodes) {
+            satisfied.push(placement);
+        } else {
+            dropped += 1;
+        }
+    }
+    (satisfied, dropped)
 }
 
 /// The greedy counterpart of [`place_mix`]: every job picks random healthy
@@ -85,21 +202,17 @@ pub fn greedy_place_mix<R: Rng + ?Sized>(
     faults: &FaultSet,
     rng: &mut R,
 ) -> Vec<PlacedJob> {
-    let mut excluded = faults.clone();
+    let mut ledger = ExclusionLedger::with_faults(faults);
     let mut placed = Vec::with_capacity(jobs.len());
     for job in jobs {
         let scheme = greedy_placement(
             total_nodes,
-            &excluded,
+            ledger.excluded(),
             job.request.nodes_per_group,
             job.request.job_nodes,
             rng,
         );
-        for group in &scheme.groups {
-            for &node in &group.nodes {
-                excluded.add(node);
-            }
-        }
+        ledger.place(&scheme);
         placed.push(PlacedJob {
             name: job.name.clone(),
             scheme,
@@ -186,6 +299,73 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn ledger_tracks_faults_and_placements_independently() {
+        use orchestrator::TpGroup;
+        let mut ledger = ExclusionLedger::new();
+        assert!(ledger.fault(NodeId(3)));
+        assert!(!ledger.fault(NodeId(3)), "double fault is idempotent");
+        let scheme =
+            PlacementScheme::from_groups(vec![TpGroup::new(vec![NodeId(3), NodeId(4), NodeId(5)])]);
+        // Node 3 is faulty AND placed: it must survive either reason ending.
+        ledger.place(&scheme);
+        assert_eq!(ledger.placed_nodes(), 3);
+        assert!(ledger.excluded().is_faulty(NodeId(3)));
+        assert!(ledger.repair(NodeId(3)));
+        assert!(
+            ledger.excluded().is_faulty(NodeId(3)),
+            "still placed, stays excluded after repair"
+        );
+        ledger.release(&scheme);
+        assert_eq!(ledger.placed_nodes(), 0);
+        assert_eq!(ledger.excluded().len(), 0);
+
+        // The other order: released while faulty keeps the node excluded.
+        ledger.fault(NodeId(4));
+        ledger.place(&scheme);
+        ledger.release(&scheme);
+        assert!(ledger.excluded().is_faulty(NodeId(4)));
+        assert_eq!(ledger.excluded().len(), 1);
+        ledger.repair(NodeId(4));
+        assert_eq!(ledger.excluded().len(), 0);
+    }
+
+    #[test]
+    fn place_mix_through_the_ledger_matches_the_folded_exclusion_semantics() {
+        // The ledger rewiring must not change what place_mix excludes: after
+        // placing, the ledger's union equals faults ∪ placed nodes.
+        let orch = orchestrator();
+        let faults = FaultSet::from_nodes((0..4).map(NodeId));
+        let jobs = vec![MixJob::new("a", request(16)), MixJob::new("b", request(8))];
+        let placed = place_mix(&orch, &jobs, &faults, 1).unwrap();
+        let mut expected = faults.clone();
+        for job in &placed {
+            for group in &job.scheme.groups {
+                for &node in &group.nodes {
+                    expected.add(node);
+                }
+            }
+        }
+        let mut ledger = ExclusionLedger::with_faults(&faults);
+        for job in &placed {
+            ledger.place(&job.scheme);
+        }
+        assert_eq!(*ledger.excluded(), expected);
+    }
+
+    #[test]
+    fn satisfied_jobs_drops_short_placements() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        // 10 healthy nodes cannot satisfy a 16-node job after an 8-node job.
+        let jobs = vec![MixJob::new("a", request(8)), MixJob::new("b", request(16))];
+        let placed = greedy_place_mix(12, &jobs, &FaultSet::new(), &mut StdRng::seed_from_u64(5));
+        let (kept, dropped) = satisfied_jobs(placed, &jobs);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].name, "a");
+        assert_eq!(dropped, 1);
     }
 
     #[test]

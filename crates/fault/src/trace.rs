@@ -265,6 +265,67 @@ mod tests {
     }
 
     #[test]
+    fn boundary_instants_follow_the_half_open_convention() {
+        // Events whose start/end land *exactly* on sample instants: the
+        // closed-start/open-end convention of `active_at` must hold at the
+        // boundary itself, and the event-driven `sample` path must agree with
+        // `active_at` at exactly those instants (its candidate-bucket
+        // prefilter is conservative; the exact test makes the final call).
+        //
+        // Duration 100, 10 samples -> instants at 0, 10, ..., 90, all exact
+        // in binary floating point, so no rounding can mask an off-by-one.
+        let trace = FaultTrace::new(
+            8,
+            Seconds(100.0),
+            vec![
+                FaultEvent::new(NodeId(1), Seconds(10.0), Seconds(30.0)), // both on-grid
+                FaultEvent::new(NodeId(2), Seconds(0.0), Seconds(20.0)),  // starts at t=0
+                FaultEvent::new(NodeId(3), Seconds(90.0), Seconds(100.0)), // runs to the horizon
+                FaultEvent::new(NodeId(4), Seconds(50.0), Seconds(50.0)), // zero length
+            ],
+        )
+        .unwrap();
+
+        // The trace orders events by start time; look them up by node.
+        let event_of = |node: usize| {
+            *trace
+                .events()
+                .iter()
+                .find(|e| e.node == NodeId(node))
+                .unwrap()
+        };
+        // Closed start: active the instant the fault begins.
+        assert!(event_of(1).active_at(Seconds(10.0)));
+        // Open end: no longer active the instant the repair lands.
+        assert!(!event_of(1).active_at(Seconds(30.0)));
+        // A zero-length event is never active, not even at its own instant.
+        assert!(!event_of(4).active_at(Seconds(50.0)));
+        // `overlaps` uses the same half-open convention on both sides.
+        assert!(!event_of(1).overlaps(Seconds(30.0), Seconds(40.0)));
+        assert!(!event_of(1).overlaps(Seconds(0.0), Seconds(10.0)));
+        assert!(event_of(1).overlaps(Seconds(10.0), Seconds(11.0)));
+
+        let sampled = trace.sample(10);
+        let at = |i: usize| -> &[NodeId] { &sampled[i].1 };
+        // t=10: node 1 just failed (closed start), node 2 still down.
+        assert_eq!(at(1), &[NodeId(1), NodeId(2)]);
+        // t=20: node 2's repair lands exactly here (open end) — only node 1.
+        assert_eq!(at(2), &[NodeId(1)]);
+        // t=30: node 1's repair lands exactly here — nobody is down.
+        assert!(at(3).is_empty());
+        // t=50: the zero-length event contributes nothing.
+        assert!(at(5).is_empty());
+        // t=90: the horizon-touching fault is active at its start instant.
+        assert_eq!(at(9), &[NodeId(3)]);
+
+        // And the full cross-check: every sampled bucket equals the
+        // point-query at the same instant.
+        for (t, nodes) in &sampled {
+            assert_eq!(nodes, &trace.faulty_nodes_at(*t), "instant {t}");
+        }
+    }
+
+    #[test]
     fn mean_repair_time() {
         let trace = simple_trace();
         // Durations: 200, 350, 200 -> mean 250.

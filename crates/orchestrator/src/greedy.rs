@@ -26,14 +26,14 @@ pub fn greedy_placement<R: Rng + ?Sized>(
     healthy.shuffle(rng);
 
     let mut scheme = PlacementScheme::new();
+    // Checked before pushing: a zero-node job gets an empty scheme, not a
+    // spurious first group (which would charge the mix accounting for nodes
+    // the job never asked for).
     for chunk in healthy.chunks(nodes_per_group) {
-        if chunk.len() < nodes_per_group {
+        if chunk.len() < nodes_per_group || scheme.nodes_placed() >= job_nodes {
             break;
         }
         scheme.push(TpGroup::new(chunk.to_vec()));
-        if scheme.nodes_placed() >= job_nodes {
-            break;
-        }
     }
     scheme
 }
@@ -68,6 +68,17 @@ mod tests {
         let a = greedy_placement(64, &FaultSet::new(), 4, 64, &mut StdRng::seed_from_u64(7));
         let b = greedy_placement(64, &FaultSet::new(), 4, 64, &mut StdRng::seed_from_u64(7));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn a_zero_node_job_places_nothing() {
+        // Regression: the group loop used to push one group before noticing
+        // the job was already satisfied, charging a zero-node job for
+        // nodes_per_group nodes.
+        let mut rng = StdRng::seed_from_u64(4);
+        let scheme = greedy_placement(32, &FaultSet::new(), 4, 0, &mut rng);
+        assert!(scheme.is_empty());
+        assert_eq!(scheme.nodes_placed(), 0);
     }
 
     #[test]
