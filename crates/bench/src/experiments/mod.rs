@@ -14,6 +14,7 @@ pub mod ext_lifecycle_slo;
 pub mod ext_multijob_interference;
 pub mod ext_pp_traffic;
 pub mod ext_replay_scale;
+pub mod ext_service_throughput;
 pub mod fig10_11_insertion_loss;
 pub mod fig10b_power;
 pub mod fig12_ber;

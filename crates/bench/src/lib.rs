@@ -11,7 +11,7 @@
 //! thread count**: stochastic sweeps draw from per-shard RNG streams derived
 //! from the master seed (see [`par`]), so `--threads 1` and `--threads N`
 //! produce byte-identical JSON — the property the workspace-level
-//! `integration_determinism` suite asserts for all 33 registered experiments.
+//! `integration_determinism` suite asserts for all 34 registered experiments.
 
 pub mod experiments;
 pub mod registry;
@@ -21,6 +21,16 @@ pub mod table;
 /// `hbd_types::par` so harness code can say `bench::par::par_map`.
 pub mod par {
     pub use infinitehbd::hbd_types::par::{par_map, par_map_range, par_map_seeded, stream_seed};
+}
+
+/// The placement-query service layer, re-exported from
+/// `orchestrator::service` so harness code and benches can say
+/// `bench::service::PlacementService`.
+pub mod service {
+    pub use infinitehbd::orchestrator::service::{
+        BatchReport, BatchStats, ClusterSnapshot, PlacementAnswer, PlacementQuery,
+        PlacementService, QueryCost, QueryKind, SnapshotStore,
+    };
 }
 
 pub use table::Table;

@@ -10,9 +10,13 @@
 //! * the incremental exclusion ledger ([`dcn::jobmix::ExclusionLedger`]):
 //!   faulty nodes ∪ nodes owned by running jobs, maintained across
 //!   place/release/fault/repair transitions,
-//! * the Fat-Tree placement kernel
-//!   ([`FatTreeOrchestrator::orchestrate_par`]), invoked against the ledger
-//!   for every admission, migration and defragmentation move,
+//! * the placement service ([`orchestrator::service::PlacementService`]):
+//!   every ledger transition republishes the exclusion union as a snapshot
+//!   epoch, and every admission, migration and defragmentation move queries
+//!   the service — which answers bit-identically to calling
+//!   [`FatTreeOrchestrator::orchestrate_par`] against the ledger directly
+//!   (the pre-service path), while consecutive probes against an unchanged
+//!   epoch reuse one memoized search scratch per request shape,
 //! * `control`'s failover planner, which prices fault-triggered migrations in
 //!   port directives on the job's own K-Hop ring.
 //!
@@ -29,11 +33,13 @@ use dcn::jobmix::ExclusionLedger;
 use fault::sim_events::{NodeEvent, NodeEventKind};
 use hbd_types::sim::{EventQueue, SimClock};
 use hbd_types::{HbdError, NodeId, Result, Seconds};
+use orchestrator::service::{PlacementService, SnapshotStore};
 use orchestrator::{FatTreeOrchestrator, OrchestrationRequest, PlacementScheme};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use topology::KHopRing;
 
 /// One job of the workload: what it asks the orchestrator for and how long it
@@ -417,6 +423,12 @@ struct SimState<'a> {
     orchestrator: &'a FatTreeOrchestrator,
     config: &'a LifecycleConfig,
     ledger: ExclusionLedger,
+    /// The snapshot-backed placement path: the ledger's exclusion union is
+    /// republished as a new epoch after every transition, and all placement
+    /// probes go through the service (answers are pinned bit-for-bit to
+    /// `orchestrate_par` against the ledger, so this is a pure plumbing
+    /// change — plus scratch reuse across probes of one epoch).
+    service: PlacementService,
     /// Which running job owns each node.
     owner: Vec<Option<usize>>,
     /// Queued job indices; ascending order is arrival (FIFO) order because
@@ -439,6 +451,23 @@ struct SimState<'a> {
 }
 
 impl SimState<'_> {
+    /// Republishes the ledger's exclusion union as the next snapshot epoch.
+    /// Called after every ledger transition so the service always answers
+    /// against exactly the live exclusion state.
+    fn sync_snapshot(&self) {
+        self.ledger.publish(self.service.store());
+    }
+
+    /// One placement probe against the live snapshot, via the service.
+    fn probe_placement(&self, request: &OrchestrationRequest) -> Result<PlacementScheme> {
+        debug_assert_eq!(
+            self.service.store().load().value.faults(),
+            self.ledger.excluded(),
+            "snapshot fell behind the ledger: a transition skipped sync_snapshot"
+        );
+        self.service.place(request, self.config.threads)
+    }
+
     /// Closes the time integral segment `[last_t, t)`.
     fn advance_integrals(&mut self, t: f64) {
         let dt = t - self.last_t;
@@ -499,6 +528,7 @@ impl SimState<'_> {
             }
         }
         self.ledger.place(&scheme);
+        self.sync_snapshot();
         self.placement_latencies.push(latency);
         let state = &mut self.jobs[job];
         state.generation += 1;
@@ -525,6 +555,7 @@ impl SimState<'_> {
             }
         }
         self.ledger.release(&scheme);
+        self.sync_snapshot();
         Some(scheme)
     }
 
@@ -534,11 +565,7 @@ impl SimState<'_> {
         let candidates: Vec<usize> = self.pending.iter().copied().collect();
         for job in candidates {
             let request = self.jobs[job].spec.request;
-            match self.orchestrator.orchestrate_par(
-                &request,
-                self.ledger.excluded(),
-                self.config.threads,
-            ) {
+            match self.probe_placement(&request) {
                 Ok(scheme) => {
                     self.pending.remove(&job);
                     let state = &mut self.jobs[job];
@@ -588,11 +615,7 @@ impl SimState<'_> {
             .migration_commands(flat.len(), k, &faulty_positions);
         self.jobs[job].generation += 1; // invalidate the scheduled departure
         let request = self.jobs[job].spec.request;
-        match self.orchestrator.orchestrate_par(
-            &request,
-            self.ledger.excluded(),
-            self.config.threads,
-        ) {
+        match self.probe_placement(&request) {
             Ok(new_scheme) => {
                 self.jobs[job].record.migrations += 1;
                 let latency = self.config.latency.base.value()
@@ -625,11 +648,7 @@ impl SimState<'_> {
             let old = self.release_placement(job).expect("running job is placed");
             self.jobs[job].generation += 1;
             let request = self.jobs[job].spec.request;
-            match self.orchestrator.orchestrate_par(
-                &request,
-                self.ledger.excluded(),
-                self.config.threads,
-            ) {
+            match self.probe_placement(&request) {
                 Ok(new_scheme) => {
                     let moved = node_set(&new_scheme) != node_set(&old);
                     let latency = if moved {
@@ -687,10 +706,17 @@ pub fn simulate(
     }
     let horizon = config.horizon.value();
 
+    // The snapshot store shares the orchestrator by `Arc` across all epochs
+    // of the run; epoch 0 is the empty exclusion state of the fresh ledger.
+    let store = Arc::new(SnapshotStore::new(
+        Arc::new(orchestrator.clone()),
+        topology::FaultSet::new(),
+    ));
     let mut state = SimState {
         orchestrator,
         config,
         ledger: ExclusionLedger::new(),
+        service: PlacementService::new(store),
         owner: vec![None; config.nodes],
         pending: BTreeSet::new(),
         jobs: Vec::with_capacity(workload.len()),
@@ -782,10 +808,7 @@ pub fn simulate(
                     if let Some(&head) = state.pending.iter().next() {
                         let request = state.jobs[head].spec.request;
                         let free = state.config.nodes - state.ledger.excluded().len();
-                        let blocked = state
-                            .orchestrator
-                            .orchestrate_par(&request, state.ledger.excluded(), config.threads)
-                            .is_err();
+                        let blocked = state.probe_placement(&request).is_err();
                         if blocked && free >= request.job_nodes {
                             state.defragment(now);
                         }
@@ -794,12 +817,14 @@ pub fn simulate(
             }
             Event::NodeDown(node) => {
                 state.ledger.fault(node);
+                state.sync_snapshot();
                 if let Some(job) = state.owner[node.index()] {
                     state.handle_fault_on_job(job, now);
                 }
             }
             Event::NodeUp(node) => {
                 state.ledger.repair(node);
+                state.sync_snapshot();
             }
         }
         state.try_admit(now);

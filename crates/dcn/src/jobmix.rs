@@ -144,6 +144,14 @@ impl ExclusionLedger {
     pub fn is_placed(&self, node: NodeId) -> bool {
         self.placed.is_faulty(node)
     }
+
+    /// Publishes the current exclusion union as the next epoch of `store` —
+    /// the bridge from the incrementally maintained ledger to the read-mostly
+    /// snapshot path of the placement service. Callers publish after every
+    /// ledger transition so service readers always see `excluded()` exactly.
+    pub fn publish(&self, store: &orchestrator::service::SnapshotStore) -> u64 {
+        store.publish(self.excluded.clone())
+    }
 }
 
 /// Places every job of the mix in order, excluding faulty nodes and the nodes
@@ -330,6 +338,56 @@ mod tests {
         assert_eq!(ledger.excluded().len(), 1);
         ledger.repair(NodeId(4));
         assert_eq!(ledger.excluded().len(), 0);
+    }
+
+    /// Double-occupying a node breaks the placements-are-disjoint contract:
+    /// debug builds must refuse loudly instead of silently corrupting the
+    /// placed multiset (a `FaultSet` cannot count a node twice, so a second
+    /// `place` would make the first `release` free a node another job owns).
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "placed twice")]
+    fn double_occupy_panics_in_debug_builds() {
+        use orchestrator::TpGroup;
+        let mut ledger = ExclusionLedger::new();
+        let scheme = PlacementScheme::from_groups(vec![TpGroup::new(vec![NodeId(7), NodeId(8)])]);
+        ledger.place(&scheme);
+        let overlapping = PlacementScheme::from_groups(vec![TpGroup::new(vec![NodeId(8)])]);
+        ledger.place(&overlapping);
+    }
+
+    /// Releasing a job the ledger never saw placed is the matching bug on
+    /// the departure path.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "released but not placed")]
+    fn release_of_unknown_job_panics_in_debug_builds() {
+        use orchestrator::TpGroup;
+        let mut ledger = ExclusionLedger::new();
+        let unknown = PlacementScheme::from_groups(vec![TpGroup::new(vec![NodeId(2)])]);
+        ledger.release(&unknown);
+    }
+
+    #[test]
+    fn ledger_publishes_its_exclusion_union_to_a_snapshot_store() {
+        use orchestrator::service::SnapshotStore;
+        use orchestrator::TpGroup;
+        use std::sync::Arc;
+        let orch = orchestrator();
+        let store = SnapshotStore::new(Arc::new(orch), FaultSet::new());
+        let mut ledger = ExclusionLedger::new();
+        ledger.fault(NodeId(1));
+        assert_eq!(ledger.publish(&store), 1);
+        let scheme = PlacementScheme::from_groups(vec![TpGroup::new(vec![NodeId(4), NodeId(5)])]);
+        ledger.place(&scheme);
+        assert_eq!(ledger.publish(&store), 2);
+        let snapshot = store.load();
+        assert_eq!(snapshot.epoch, 2);
+        assert_eq!(snapshot.value.faults(), ledger.excluded());
+        assert_eq!(
+            snapshot.value.faults(),
+            &FaultSet::from_nodes([NodeId(1), NodeId(4), NodeId(5)])
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod epoch;
 pub mod error;
 pub mod ids;
 pub mod par;
@@ -21,6 +22,7 @@ pub mod sim;
 pub mod units;
 
 pub use config::{ClusterConfig, GpuSpec, NodeSize};
+pub use epoch::{EpochCell, Versioned};
 pub use error::{HbdError, Result};
 pub use ids::{GpuId, LinkId, NodeId, SwitchId, ToRId, TrxId};
 pub use par::{par_map, par_map_range, par_map_seeded, stream_seed};

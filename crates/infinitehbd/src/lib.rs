@@ -92,7 +92,8 @@ pub mod prelude {
     pub use ocstrx::{Bundle, OcsTrx, PathId, TrxConfig};
     pub use orchestrator::{
         cross_tor_rate, greedy_placement, max_orchestratable_job, FatTreeOrchestrator,
-        MaxJobReport, OrchestrationRequest, PlacementScheme, TrafficModel,
+        MaxJobReport, OrchestrationRequest, PlacementQuery, PlacementScheme, PlacementService,
+        SnapshotStore, TrafficModel,
     };
     pub use topology::{
         paper_architectures, BigSwitch, BinaryHopRing, DojoMesh, FatTree, FaultSet,

@@ -381,16 +381,37 @@ impl FatTreeOrchestrator {
         threads: usize,
     ) -> Result<PlacementScheme> {
         request.validate()?;
-        let job_groups = request.job_nodes.div_ceil(request.nodes_per_group);
-        let needed_nodes = job_groups * request.nodes_per_group;
-        let feasible = |placement: &PlacementScheme| placement.nodes_placed() >= needed_nodes;
-
         // Everything probe-invariant is computed once: the deployment order,
         // the segment-ownership mask, the ToR-expanded fault set per
         // aligned-domain count, and both placement variants of every segment.
         // Each probe then only assembles memoized segments and scans its
         // residual line.
         let scratch = self.search_scratch(request, faults);
+        self.orchestrate_with_scratch(request, &scratch, threads).0
+    }
+
+    /// The constraint search of [`orchestrate_par`](Self::orchestrate_par)
+    /// against a prebuilt [`SearchScratch`], so callers answering many
+    /// requests against one fault set (the placement service, the max-job
+    /// search) can amortize the scratch across searches. The scratch depends
+    /// only on `(k, nodes_per_group, faults)` — never on `job_nodes` — so one
+    /// scratch serves every job size of a `(k, nodes_per_group)` key.
+    ///
+    /// The caller must have validated `request` and built `scratch` for the
+    /// same `k` / `nodes_per_group`. Returns the search outcome plus the
+    /// number of probe placements evaluated (the search's dominant cost; with
+    /// `threads == 1` the lazy evaluation makes this count exact, with more
+    /// threads every probe of a round is evaluated eagerly).
+    pub(crate) fn orchestrate_with_scratch(
+        &self,
+        request: &OrchestrationRequest,
+        scratch: &SearchScratch,
+        threads: usize,
+    ) -> (Result<PlacementScheme>, usize) {
+        let job_groups = request.job_nodes.div_ceil(request.nodes_per_group);
+        let needed_nodes = job_groups * request.nodes_per_group;
+        let feasible = |placement: &PlacementScheme| placement.nodes_placed() >= needed_nodes;
+        let mut evaluated = 0usize;
 
         let mut low = 0usize;
         let mut high = self.segment_constraints() + self.alignment_constraints();
@@ -400,8 +421,9 @@ impl FatTreeOrchestrator {
             // Find the most constrained feasible probe and the least
             // constrained infeasible probe directly above it.
             let hit = if threads > 1 {
+                evaluated += probes.len();
                 let placements = hbd_types::par::par_map(threads, &probes, |_, &n| {
-                    self.placement_with_constraints_cached(request, &scratch, n)
+                    self.placement_with_constraints_cached(request, scratch, n)
                 });
                 probes
                     .iter()
@@ -411,7 +433,8 @@ impl FatTreeOrchestrator {
                     .map(|(&n, placement)| (n, placement))
             } else {
                 probes.iter().rev().find_map(|&n| {
-                    let placement = self.placement_with_constraints_cached(request, &scratch, n);
+                    evaluated += 1;
+                    let placement = self.placement_with_constraints_cached(request, scratch, n);
                     feasible(&placement).then_some((n, placement))
                 })
             };
@@ -435,13 +458,17 @@ impl FatTreeOrchestrator {
             }
         }
 
-        let mut placement = best.ok_or_else(|| {
-            HbdError::infeasible(format!(
-                "job needs {needed_nodes} nodes but the cluster cannot provide them under the current fault pattern"
-            ))
-        })?;
-        placement.truncate(job_groups);
-        Ok(placement)
+        let outcome = best
+            .ok_or_else(|| {
+                HbdError::infeasible(format!(
+                    "job needs {needed_nodes} nodes but the cluster cannot provide them under the current fault pattern"
+                ))
+            })
+            .map(|mut placement| {
+                placement.truncate(job_groups);
+                placement
+            });
+        (outcome, evaluated)
     }
 
     /// Probes per multisection round of the constraint / job-size searches.
@@ -597,6 +624,27 @@ mod tests {
                 seq,
                 orch.orchestrate_par(&req, &faults, threads).unwrap(),
                 "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_scratch_serves_every_job_size_with_unchanged_faults() {
+        // The scratch depends only on (k, nodes_per_group, faults): reusing
+        // one scratch across consecutive searches with different job sizes
+        // must match a fresh scratch per search, including the infeasible
+        // outcome past the cluster's capacity.
+        let orch = orchestrator();
+        let faults = FaultSet::from_nodes((0..20).map(|i| NodeId(i * 19)));
+        let scratch = orch.search_scratch(&request(1), &faults);
+        for job_nodes in [8usize, 64, 200, 360, 480, 1000] {
+            let req = request(job_nodes);
+            let (reused, probes) = orch.orchestrate_with_scratch(&req, &scratch, 1);
+            assert!(probes > 0, "job_nodes {job_nodes}");
+            assert_eq!(
+                reused,
+                orch.orchestrate_par(&req, &faults, 1),
+                "job_nodes {job_nodes}"
             );
         }
     }

@@ -15,7 +15,11 @@
 //! * [`greedy`] — the baseline of §6.4: pick healthy nodes in arbitrary order
 //!   and use the first grouping that satisfies the job,
 //! * [`traffic`] — cross-ToR traffic accounting for a placement scheme
-//!   (the metric of Fig 17a–c).
+//!   (the metric of Fig 17a–c),
+//! * [`service`] — the operational serving layer: epoch-swapped cluster
+//!   snapshots ([`service::SnapshotStore`]) and batched placement / max-job /
+//!   what-if queries ([`service::PlacementService`]) pinned bit-for-bit to
+//!   the single-query algorithms above.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +30,7 @@ pub mod fat_tree;
 pub mod greedy;
 pub mod scheme;
 pub mod search;
+pub mod service;
 pub mod traffic;
 
 pub use dcn_free::orchestrate_dcn_free;
@@ -34,4 +39,8 @@ pub use fat_tree::{FatTreeOrchestrator, OrchestrationRequest};
 pub use greedy::greedy_placement;
 pub use scheme::{PlacementScheme, TpGroup};
 pub use search::{max_orchestratable_job, MaxJobReport};
+pub use service::{
+    BatchReport, BatchStats, ClusterSnapshot, PlacementAnswer, PlacementQuery, PlacementService,
+    QueryCost, QueryKind, SnapshotStore,
+};
 pub use traffic::{cross_tor_rate, TrafficModel};

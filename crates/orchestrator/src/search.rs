@@ -9,8 +9,13 @@
 //! independent feasibility checks out over scoped threads. The ladder never
 //! depends on the thread count, so the result is identical for `--threads 1`
 //! and `--threads N`.
+//!
+//! Because the orchestrator's per-search scratch depends only on
+//! `(k, nodes_per_group, faults)` — never on the probed job size — the whole
+//! job-size ladder shares **one** scratch instead of rebuilding it inside
+//! every feasibility probe.
 
-use crate::fat_tree::{FatTreeOrchestrator, OrchestrationRequest};
+use crate::fat_tree::{FatTreeOrchestrator, OrchestrationRequest, SearchScratch};
 use crate::scheme::PlacementScheme;
 use hbd_types::par::par_map;
 use topology::FaultSet;
@@ -38,15 +43,77 @@ pub fn max_orchestratable_job(
     threads: usize,
 ) -> MaxJobReport {
     let total_groups = orchestrator.fat_tree().nodes() / nodes_per_group.max(1);
+    // One scratch for the whole ladder. A degenerate geometry
+    // (`nodes_per_group == 0` or `k == 0`) cannot build a scratch; every
+    // probe of the old per-probe path would fail request validation, so the
+    // search runs without one and each probe rejects itself.
+    let template = OrchestrationRequest {
+        job_nodes: nodes_per_group.max(1),
+        nodes_per_group,
+        k,
+    };
+    let scratch = template
+        .validate()
+        .ok()
+        .map(|_| orchestrator.search_scratch(&template, faults));
     let try_groups = |groups: usize| -> Option<PlacementScheme> {
         let request = OrchestrationRequest {
             job_nodes: groups * nodes_per_group,
             nodes_per_group,
             k,
         };
-        orchestrator.orchestrate(&request, faults).ok()
+        match &scratch {
+            Some(scratch) => orchestrator
+                .orchestrate_with_scratch(&request, scratch, 1)
+                .0
+                .ok(),
+            None => orchestrator.orchestrate(&request, faults).ok(),
+        }
     };
+    max_job_search(total_groups, nodes_per_group, threads, try_groups)
+}
 
+/// [`max_orchestratable_job`] against a caller-provided scratch (the
+/// placement service's path, where one scratch per `(k, nodes_per_group)` key
+/// is shared across a whole query batch). The caller guarantees the scratch
+/// was built for the same `k` / `nodes_per_group` against the fault set being
+/// queried, and that both are positive. Probes run sequentially — the service
+/// fans out across queries, not inside one.
+pub(crate) fn max_job_with_scratch(
+    orchestrator: &FatTreeOrchestrator,
+    nodes_per_group: usize,
+    k: usize,
+    scratch: &SearchScratch,
+) -> MaxJobReport {
+    debug_assert!(nodes_per_group > 0 && k > 0);
+    let total_groups = orchestrator.fat_tree().nodes() / nodes_per_group.max(1);
+    let try_groups = |groups: usize| -> Option<PlacementScheme> {
+        let request = OrchestrationRequest {
+            job_nodes: groups * nodes_per_group,
+            nodes_per_group,
+            k,
+        };
+        orchestrator
+            .orchestrate_with_scratch(&request, scratch, 1)
+            .0
+            .ok()
+    };
+    max_job_search(total_groups, nodes_per_group, 1, try_groups)
+}
+
+/// The fixed-ladder multisection over job sizes shared by both entry points.
+/// `try_groups(g)` decides feasibility of a `g`-group job; the ladder (and so
+/// the reported probe count) depends only on which probes are feasible, never
+/// on `threads`.
+fn max_job_search<F>(
+    total_groups: usize,
+    nodes_per_group: usize,
+    threads: usize,
+    try_groups: F,
+) -> MaxJobReport
+where
+    F: Fn(usize) -> Option<PlacementScheme> + Sync,
+{
     let mut low = 1usize;
     let mut high = total_groups;
     let mut best: Option<(usize, PlacementScheme)> = None;
@@ -126,6 +193,7 @@ mod tests {
         let seq = max_orchestratable_job(&orch, 8, 2, &faults, 1);
         let par = max_orchestratable_job(&orch, 8, 2, &faults, 4);
         assert_eq!(seq.job_nodes, par.job_nodes);
+        assert_eq!(seq.probes, par.probes);
         assert!(seq.job_nodes > 0);
         assert!(seq.job_nodes < 512, "40 faulty nodes must cost capacity");
         // Maximality: one more group must be infeasible.
@@ -135,6 +203,32 @@ mod tests {
             k: 2,
         };
         assert!(orch.orchestrate(&request, &faults).is_err());
+    }
+
+    #[test]
+    fn shared_scratch_path_matches_the_public_search() {
+        let orch = orchestrator();
+        let faults = FaultSet::from_nodes((0..25).map(|i| NodeId(i * 7)));
+        let template = OrchestrationRequest {
+            job_nodes: 8,
+            nodes_per_group: 8,
+            k: 2,
+        };
+        let scratch = orch.search_scratch(&template, &faults);
+        let shared = max_job_with_scratch(&orch, 8, 2, &scratch);
+        let public = max_orchestratable_job(&orch, 8, 2, &faults, 1);
+        assert_eq!(shared.job_nodes, public.job_nodes);
+        assert_eq!(shared.probes, public.probes);
+        assert_eq!(shared.placement, public.placement);
+    }
+
+    #[test]
+    fn degenerate_geometry_is_rejected_not_panicked() {
+        let orch = orchestrator();
+        let report = max_orchestratable_job(&orch, 0, 2, &FaultSet::new(), 1);
+        assert_eq!(report.job_nodes, 0);
+        let report = max_orchestratable_job(&orch, 8, 0, &FaultSet::new(), 2);
+        assert_eq!(report.job_nodes, 0);
     }
 
     #[test]

@@ -1,0 +1,664 @@
+//! The placement-query service layer: epoch-swapped cluster snapshots and
+//! batched placement / max-job / what-if queries against them.
+//!
+//! The orchestration algorithms of this crate answer *one* question against
+//! *one* fault set. Operationally (ROADMAP north star, and the serving-layer
+//! lesson of Mission Apollo) the workload is different: many concurrent
+//! queries against one slowly-mutating cluster state. This module provides
+//! that layer:
+//!
+//! * [`ClusterSnapshot`] — an immutable pairing of the (shared, `Arc`'d)
+//!   orchestrator topology with one fault/exclusion state;
+//! * [`SnapshotStore`] — an [`EpochCell`] of snapshots: writers publish a new
+//!   fault state as a new epoch, readers pin whatever epoch is current and
+//!   never block each other (see `hbd_types::epoch` for the protocol);
+//! * [`PlacementService`] — answers batches of [`PlacementQuery`]s against
+//!   the current snapshot, amortising one memoized `SearchScratch` per
+//!   distinct `(k, nodes_per_group)` key over the whole batch and fanning the
+//!   per-query searches out with [`hbd_types::par`].
+//!
+//! # Determinism
+//!
+//! Every answer is produced by the same code path as the single-query oracle
+//! — [`FatTreeOrchestrator::orchestrate_par`] for placements,
+//! [`max_orchestratable_job`] for
+//! max-job queries — evaluated sequentially per query against a scratch that
+//! is bit-identical to the one the oracle would build (pinned by the
+//! `service_oracle` property suite). The thread count only decides how
+//! queries are *fanned out*, never how any one query is *answered*, and the
+//! set of scratch keys built for a batch is derived from the batch contents
+//! alone; so answers **and** cost counters are byte-identical for any thread
+//! count.
+
+use crate::fat_tree::{FatTreeOrchestrator, OrchestrationRequest, SearchScratch};
+use crate::scheme::PlacementScheme;
+use crate::search::{max_job_with_scratch, max_orchestratable_job};
+use hbd_types::epoch::{EpochCell, Versioned};
+use hbd_types::par::par_map;
+use hbd_types::Result;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+use topology::FaultSet;
+
+/// A scratch key: the pair a `SearchScratch` depends on besides the fault
+/// set. One scratch per key serves every job size.
+type ScratchKey = (usize, usize); // (k, nodes_per_group)
+
+/// One immutable view of the cluster: the orchestrator (topology + wiring,
+/// shared by every snapshot of a store) plus the fault/exclusion state the
+/// snapshot was published with.
+#[derive(Debug, Clone)]
+pub struct ClusterSnapshot {
+    orchestrator: Arc<FatTreeOrchestrator>,
+    faults: FaultSet,
+}
+
+impl ClusterSnapshot {
+    /// Creates a snapshot of `orchestrator` under `faults`.
+    pub fn new(orchestrator: Arc<FatTreeOrchestrator>, faults: FaultSet) -> Self {
+        ClusterSnapshot {
+            orchestrator,
+            faults,
+        }
+    }
+
+    /// The orchestrator this snapshot places against.
+    pub fn orchestrator(&self) -> &FatTreeOrchestrator {
+        &self.orchestrator
+    }
+
+    /// The fault/exclusion state of this snapshot (faulty nodes plus whatever
+    /// the publisher excluded, e.g. nodes occupied by running jobs).
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+}
+
+/// The epoch-swapped store of [`ClusterSnapshot`]s. Readers
+/// ([`PlacementService`], or anyone calling [`load`](Self::load)) pin the
+/// current snapshot with one `Arc` clone; writers replace the fault state
+/// wholesale with [`publish`](Self::publish). The orchestrator itself is
+/// immutable for the lifetime of the store and shared across epochs.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    cell: EpochCell<ClusterSnapshot>,
+}
+
+impl SnapshotStore {
+    /// Creates the store with `faults` as the epoch-0 state.
+    pub fn new(orchestrator: Arc<FatTreeOrchestrator>, faults: FaultSet) -> Self {
+        SnapshotStore {
+            cell: EpochCell::new(ClusterSnapshot::new(orchestrator, faults)),
+        }
+    }
+
+    /// Pins and returns the current snapshot.
+    pub fn load(&self) -> Arc<Versioned<ClusterSnapshot>> {
+        self.cell.load()
+    }
+
+    /// The current epoch — a lock-free staleness probe.
+    pub fn epoch(&self) -> u64 {
+        self.cell.epoch()
+    }
+
+    /// Publishes `faults` as the next epoch's state (the orchestrator is
+    /// carried over) and returns that epoch.
+    pub fn publish(&self, faults: FaultSet) -> u64 {
+        let orchestrator = Arc::clone(&self.cell.load().value.orchestrator);
+        self.cell
+            .publish(ClusterSnapshot::new(orchestrator, faults))
+    }
+}
+
+/// One question to the placement service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlacementQuery {
+    /// "Place this job on the current snapshot" — answered exactly like
+    /// [`FatTreeOrchestrator::orchestrate_par`].
+    Place(OrchestrationRequest),
+    /// "How large a job could the current snapshot still place?" — answered
+    /// exactly like [`max_orchestratable_job`].
+    MaxJob {
+        /// Nodes per TP group of the hypothetical job.
+        nodes_per_group: usize,
+        /// OCSTrx bundle count of the K-Hop topology.
+        k: usize,
+    },
+    /// "Could this job still be placed if these *additional* nodes failed?" —
+    /// a placement against `snapshot faults ∪ extra_faults`. The overlay is
+    /// query-local: it never touches the shared snapshot or the shared
+    /// scratch cache.
+    WhatIf {
+        /// The job to place.
+        request: OrchestrationRequest,
+        /// Hypothetical extra faults overlaid on the snapshot's state.
+        extra_faults: FaultSet,
+    },
+}
+
+/// The answer to one [`PlacementQuery`], in batch order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlacementAnswer {
+    /// Outcome of a `Place` or `WhatIf` query — bit-identical to what
+    /// [`FatTreeOrchestrator::orchestrate_par`] returns for the same request
+    /// and (effective) fault set, including the error for invalid or
+    /// unsatisfiable requests.
+    Placement(Result<PlacementScheme>),
+    /// Outcome of a `MaxJob` query.
+    MaxJob {
+        /// The largest feasible job size in nodes (zero if nothing fits).
+        job_nodes: usize,
+    },
+}
+
+/// Which kind of query a [`QueryCost`] belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// A `Place` query.
+    Place,
+    /// A `MaxJob` query.
+    MaxJob,
+    /// A `WhatIf` query.
+    WhatIf,
+}
+
+/// Deterministic cost counters for one answered query — the input of the
+/// modeled-latency accounting in the throughput experiment (never
+/// wall-clock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryCost {
+    /// The query kind.
+    pub kind: QueryKind,
+    /// Search probes spent: constraint placements evaluated for `Place` /
+    /// `WhatIf`, full feasibility searches for `MaxJob`.
+    pub probes: usize,
+    /// Whether the query built its own private scratch (what-if overlays
+    /// always do; shared-state queries never do — theirs is accounted at the
+    /// batch level).
+    pub private_scratch: bool,
+}
+
+/// Batch-level counters of one [`PlacementService::answer_batch`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchStats {
+    /// Queries answered (== batch length).
+    pub queries: usize,
+    /// Shared scratches built for this batch (one per `(k, nodes_per_group)`
+    /// key not already cached for the snapshot's epoch).
+    pub shared_scratch_builds: usize,
+    /// Shared-scratch queries answered without building (cache or intra-batch
+    /// amortisation).
+    pub shared_scratch_reuses: usize,
+    /// Private scratches built by what-if overlays.
+    pub private_scratch_builds: usize,
+    /// Total search probes across the batch (see [`QueryCost::probes`]).
+    pub probes: usize,
+    /// Queries rejected for invalid parameters.
+    pub rejected: usize,
+}
+
+/// The outcome of one batch: every answer, its cost, and the epoch the whole
+/// batch was answered against. The batch pins exactly one snapshot up front,
+/// so every answer is consistent with that single epoch even while newer
+/// epochs are being published concurrently.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// The epoch every answer of this batch was computed against.
+    pub epoch: u64,
+    /// Answers, in query order.
+    pub answers: Vec<PlacementAnswer>,
+    /// Per-query cost counters, in query order.
+    pub costs: Vec<QueryCost>,
+    /// Batch-level counters.
+    pub stats: BatchStats,
+}
+
+/// The memoized shared scratches of one epoch. Invalidated wholesale when a
+/// newer epoch is observed.
+#[derive(Debug, Default)]
+struct ScratchCache {
+    epoch: u64,
+    scratches: BTreeMap<ScratchKey, Arc<SearchScratch>>,
+}
+
+/// Answers placement queries against the current [`SnapshotStore`] snapshot,
+/// memoizing one `SearchScratch` per `(k, nodes_per_group)` key per epoch.
+#[derive(Debug)]
+pub struct PlacementService {
+    store: Arc<SnapshotStore>,
+    cache: Mutex<ScratchCache>,
+}
+
+impl PlacementService {
+    /// Creates a service reading from `store`.
+    pub fn new(store: Arc<SnapshotStore>) -> Self {
+        PlacementService {
+            store,
+            cache: Mutex::new(ScratchCache::default()),
+        }
+    }
+
+    /// The store this service reads from.
+    pub fn store(&self) -> &Arc<SnapshotStore> {
+        &self.store
+    }
+
+    /// Resolves (building where missing) the shared scratches for `keys`
+    /// against `snapshot`, returning the key → scratch map and how many
+    /// scratches were built. Missing keys are built under the cache lock,
+    /// fanned over `threads`; if the cache has already moved to a *newer*
+    /// epoch (a concurrent batch on a fresher snapshot claimed it), the
+    /// scratches are built privately instead so the newer epoch's cache is
+    /// never poisoned with stale state.
+    fn shared_scratches(
+        &self,
+        snapshot: &Versioned<ClusterSnapshot>,
+        keys: &BTreeSet<ScratchKey>,
+        threads: usize,
+    ) -> (BTreeMap<ScratchKey, Arc<SearchScratch>>, usize) {
+        if keys.is_empty() {
+            return (BTreeMap::new(), 0);
+        }
+        let build = |wanted: &[ScratchKey]| -> Vec<Arc<SearchScratch>> {
+            par_map(threads, wanted, |_, &(k, nodes_per_group)| {
+                let template = OrchestrationRequest {
+                    job_nodes: nodes_per_group,
+                    nodes_per_group,
+                    k,
+                };
+                Arc::new(
+                    snapshot
+                        .value
+                        .orchestrator()
+                        .search_scratch(&template, snapshot.value.faults()),
+                )
+            })
+        };
+
+        let mut cache = self.cache.lock().expect("no scratch builder panicked");
+        if cache.epoch < snapshot.epoch {
+            cache.scratches.clear();
+            cache.epoch = snapshot.epoch;
+        }
+        if cache.epoch > snapshot.epoch {
+            // The cache belongs to a newer epoch: serve this (stale) batch
+            // from private builds.
+            drop(cache);
+            let wanted: Vec<ScratchKey> = keys.iter().copied().collect();
+            let built = build(&wanted);
+            return (wanted.into_iter().zip(built).collect(), keys.len());
+        }
+        let missing: Vec<ScratchKey> = keys
+            .iter()
+            .copied()
+            .filter(|key| !cache.scratches.contains_key(key))
+            .collect();
+        let built = build(&missing);
+        for (key, scratch) in missing.iter().zip(built) {
+            cache.scratches.insert(*key, scratch);
+        }
+        let map = keys
+            .iter()
+            .map(|key| (*key, Arc::clone(&cache.scratches[key])))
+            .collect();
+        (map, missing.len())
+    }
+
+    /// Answers one placement request against the current snapshot —
+    /// bit-identical to [`FatTreeOrchestrator::orchestrate_par`] with the
+    /// snapshot's fault set, but reusing the per-epoch scratch cache, so
+    /// consecutive single placements against an unchanged snapshot skip the
+    /// scratch rebuild. `threads` fans out the constraint probes of this one
+    /// search (the answer is thread-count-invariant).
+    pub fn place(&self, request: &OrchestrationRequest, threads: usize) -> Result<PlacementScheme> {
+        request.validate()?;
+        let snapshot = self.store.load();
+        let keys = BTreeSet::from([(request.k, request.nodes_per_group)]);
+        let (scratches, _) = self.shared_scratches(&snapshot, &keys, 1);
+        let scratch = &scratches[&(request.k, request.nodes_per_group)];
+        snapshot
+            .value
+            .orchestrator()
+            .orchestrate_with_scratch(request, scratch, threads)
+            .0
+    }
+
+    /// Answers a batch of queries against **one** pinned snapshot, fanning
+    /// the per-query work over up to `threads` scoped threads. Shared-state
+    /// queries (`Place`, `MaxJob`) amortise one memoized scratch per
+    /// `(k, nodes_per_group)` key; what-if overlays build a private scratch
+    /// against their merged fault set. Answers, order and cost counters are
+    /// byte-identical for any thread count.
+    pub fn answer_batch(&self, queries: &[PlacementQuery], threads: usize) -> BatchReport {
+        let snapshot = self.store.load();
+
+        // Which shared scratch keys the batch needs, derived from the batch
+        // alone (invalid requests answer without a scratch, what-ifs build
+        // privately).
+        let mut keys: BTreeSet<ScratchKey> = BTreeSet::new();
+        for query in queries {
+            match query {
+                PlacementQuery::Place(request) => {
+                    if request.validate().is_ok() {
+                        keys.insert((request.k, request.nodes_per_group));
+                    }
+                }
+                PlacementQuery::MaxJob { nodes_per_group, k } => {
+                    if *nodes_per_group > 0 && *k > 0 {
+                        keys.insert((*k, *nodes_per_group));
+                    }
+                }
+                PlacementQuery::WhatIf { .. } => {}
+            }
+        }
+        let (scratches, shared_scratch_builds) = self.shared_scratches(&snapshot, &keys, threads);
+
+        let outcomes = par_map(threads, queries, |_, query| {
+            self.answer_one(query, &snapshot, &scratches)
+        });
+
+        let mut answers = Vec::with_capacity(outcomes.len());
+        let mut costs = Vec::with_capacity(outcomes.len());
+        let mut stats = BatchStats {
+            queries: queries.len(),
+            shared_scratch_builds,
+            ..BatchStats::default()
+        };
+        for (query, (answer, cost)) in queries.iter().zip(outcomes) {
+            stats.probes += cost.probes;
+            stats.private_scratch_builds += usize::from(cost.private_scratch);
+            match query {
+                PlacementQuery::Place(request) => {
+                    if request.validate().is_ok() {
+                        stats.shared_scratch_reuses += 1;
+                    } else {
+                        stats.rejected += 1;
+                    }
+                }
+                PlacementQuery::MaxJob { nodes_per_group, k } => {
+                    // Degenerate geometries answer `job_nodes: 0` via the
+                    // oracle path without a shared scratch; they are neither
+                    // reuses nor rejections.
+                    stats.shared_scratch_reuses += usize::from(*nodes_per_group > 0 && *k > 0);
+                }
+                PlacementQuery::WhatIf { request, .. } => {
+                    stats.rejected += usize::from(request.validate().is_err());
+                }
+            }
+            answers.push(answer);
+            costs.push(cost);
+        }
+        // Of the shared-scratch queries, the ones whose key had to be built
+        // this batch are builds, the rest amortised an existing scratch.
+        stats.shared_scratch_reuses = stats
+            .shared_scratch_reuses
+            .saturating_sub(stats.shared_scratch_builds);
+
+        BatchReport {
+            epoch: snapshot.epoch,
+            answers,
+            costs,
+            stats,
+        }
+    }
+
+    /// Answers one query of a batch. Runs sequentially (inner `threads == 1`)
+    /// so per-query probe counts are exact and thread-count-invariant; the
+    /// batch-level fan-out is the parallelism.
+    fn answer_one(
+        &self,
+        query: &PlacementQuery,
+        snapshot: &Versioned<ClusterSnapshot>,
+        scratches: &BTreeMap<ScratchKey, Arc<SearchScratch>>,
+    ) -> (PlacementAnswer, QueryCost) {
+        let orchestrator = snapshot.value.orchestrator();
+        let faults = snapshot.value.faults();
+        match query {
+            PlacementQuery::Place(request) => {
+                if let Err(error) = request.validate() {
+                    return (
+                        PlacementAnswer::Placement(Err(error)),
+                        QueryCost {
+                            kind: QueryKind::Place,
+                            probes: 0,
+                            private_scratch: false,
+                        },
+                    );
+                }
+                let scratch = &scratches[&(request.k, request.nodes_per_group)];
+                let (outcome, probes) = orchestrator.orchestrate_with_scratch(request, scratch, 1);
+                (
+                    PlacementAnswer::Placement(outcome),
+                    QueryCost {
+                        kind: QueryKind::Place,
+                        probes,
+                        private_scratch: false,
+                    },
+                )
+            }
+            PlacementQuery::MaxJob { nodes_per_group, k } => {
+                let report = match scratches.get(&(*k, *nodes_per_group)) {
+                    Some(scratch) => {
+                        max_job_with_scratch(orchestrator, *nodes_per_group, *k, scratch)
+                    }
+                    // Degenerate geometry: the oracle path rejects every
+                    // probe itself.
+                    None => max_orchestratable_job(orchestrator, *nodes_per_group, *k, faults, 1),
+                };
+                (
+                    PlacementAnswer::MaxJob {
+                        job_nodes: report.job_nodes,
+                    },
+                    QueryCost {
+                        kind: QueryKind::MaxJob,
+                        probes: report.probes,
+                        private_scratch: false,
+                    },
+                )
+            }
+            PlacementQuery::WhatIf {
+                request,
+                extra_faults,
+            } => {
+                if let Err(error) = request.validate() {
+                    return (
+                        PlacementAnswer::Placement(Err(error)),
+                        QueryCost {
+                            kind: QueryKind::WhatIf,
+                            probes: 0,
+                            private_scratch: false,
+                        },
+                    );
+                }
+                let merged = faults.union(extra_faults);
+                let scratch = orchestrator.search_scratch(request, &merged);
+                let (outcome, probes) = orchestrator.orchestrate_with_scratch(request, &scratch, 1);
+                (
+                    PlacementAnswer::Placement(outcome),
+                    QueryCost {
+                        kind: QueryKind::WhatIf,
+                        probes,
+                        private_scratch: true,
+                    },
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbd_types::NodeId;
+    use topology::FatTree;
+
+    fn store_with(faults: FaultSet) -> Arc<SnapshotStore> {
+        let orch = Arc::new(FatTreeOrchestrator::new(FatTree::new(512, 16, 8).unwrap()).unwrap());
+        Arc::new(SnapshotStore::new(orch, faults))
+    }
+
+    fn request(job_nodes: usize) -> OrchestrationRequest {
+        OrchestrationRequest {
+            job_nodes,
+            nodes_per_group: 8,
+            k: 2,
+        }
+    }
+
+    #[test]
+    fn store_publish_swaps_faults_and_keeps_the_orchestrator() {
+        let store = store_with(FaultSet::new());
+        assert_eq!(store.epoch(), 0);
+        let faults = FaultSet::from_nodes([NodeId(3)]);
+        assert_eq!(store.publish(faults.clone()), 1);
+        let snapshot = store.load();
+        assert_eq!(snapshot.epoch, 1);
+        assert_eq!(snapshot.value.faults(), &faults);
+        assert_eq!(snapshot.value.orchestrator().fat_tree().nodes(), 512);
+    }
+
+    #[test]
+    fn place_matches_the_oracle_and_reuses_the_epoch_scratch() {
+        let faults = FaultSet::from_nodes((0..12).map(|i| NodeId(i * 31)));
+        let store = store_with(faults.clone());
+        let service = PlacementService::new(Arc::clone(&store));
+        let orch = store.load().value.orchestrator().clone();
+        for job_nodes in [64usize, 256, 480, 1000] {
+            let req = request(job_nodes);
+            assert_eq!(
+                service.place(&req, 1),
+                orch.orchestrate_par(&req, &faults, 1),
+                "job_nodes {job_nodes}"
+            );
+        }
+        // Consecutive places against one epoch share the cached scratch: a
+        // follow-up batch reports zero builds for the same key.
+        let report = service.answer_batch(&[PlacementQuery::Place(request(64))], 1);
+        assert_eq!(report.stats.shared_scratch_builds, 0);
+        assert_eq!(report.stats.shared_scratch_reuses, 1);
+    }
+
+    #[test]
+    fn batch_answers_every_query_kind_against_one_epoch() {
+        let faults = FaultSet::from_nodes((0..20).map(|i| NodeId(i * 17)));
+        let store = store_with(faults.clone());
+        let service = PlacementService::new(Arc::clone(&store));
+        let orch = store.load().value.orchestrator().clone();
+        let extra = FaultSet::from_nodes((0..64).map(NodeId));
+        let queries = vec![
+            PlacementQuery::Place(request(256)),
+            PlacementQuery::MaxJob {
+                nodes_per_group: 8,
+                k: 2,
+            },
+            PlacementQuery::WhatIf {
+                request: request(256),
+                extra_faults: extra.clone(),
+            },
+            PlacementQuery::Place(OrchestrationRequest {
+                job_nodes: 0,
+                nodes_per_group: 8,
+                k: 2,
+            }),
+        ];
+        let report = service.answer_batch(&queries, 2);
+        assert_eq!(report.epoch, 0);
+        assert_eq!(report.answers.len(), 4);
+        assert_eq!(
+            report.answers[0],
+            PlacementAnswer::Placement(orch.orchestrate_par(&request(256), &faults, 1))
+        );
+        assert_eq!(
+            report.answers[1],
+            PlacementAnswer::MaxJob {
+                job_nodes: max_orchestratable_job(&orch, 8, 2, &faults, 1).job_nodes
+            }
+        );
+        assert_eq!(
+            report.answers[2],
+            PlacementAnswer::Placement(orchestrate_whatif(&orch, &request(256), &faults, &extra))
+        );
+        assert!(matches!(
+            &report.answers[3],
+            PlacementAnswer::Placement(Err(_))
+        ));
+        assert_eq!(report.stats.queries, 4);
+        assert_eq!(report.stats.rejected, 1);
+        // Place + MaxJob share one (k=2, m=8) scratch; the what-if builds its
+        // own.
+        assert_eq!(report.stats.shared_scratch_builds, 1);
+        assert_eq!(report.stats.shared_scratch_reuses, 1);
+        assert_eq!(report.stats.private_scratch_builds, 1);
+        assert!(report.stats.probes > 0);
+    }
+
+    fn orchestrate_whatif(
+        orch: &FatTreeOrchestrator,
+        request: &OrchestrationRequest,
+        faults: &FaultSet,
+        extra: &FaultSet,
+    ) -> Result<PlacementScheme> {
+        orch.orchestrate_par(request, &faults.union(extra), 1)
+    }
+
+    #[test]
+    fn batch_reports_are_thread_count_invariant() {
+        let faults = FaultSet::from_nodes((0..30).map(|i| NodeId(i * 13)));
+        let store = store_with(faults);
+        let queries: Vec<PlacementQuery> = (1..=12)
+            .map(|i| PlacementQuery::Place(request(i * 40)))
+            .chain([PlacementQuery::MaxJob {
+                nodes_per_group: 16,
+                k: 2,
+            }])
+            .collect();
+        // Fresh service per thread count so the scratch cache starts cold in
+        // both runs and the build counters are comparable.
+        let seq = PlacementService::new(Arc::clone(&store)).answer_batch(&queries, 1);
+        let par = PlacementService::new(Arc::clone(&store)).answer_batch(&queries, 4);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn publishing_a_new_epoch_invalidates_the_scratch_cache() {
+        let store = store_with(FaultSet::new());
+        let service = PlacementService::new(Arc::clone(&store));
+        let queries = vec![PlacementQuery::Place(request(64))];
+        let first = service.answer_batch(&queries, 1);
+        assert_eq!((first.epoch, first.stats.shared_scratch_builds), (0, 1));
+        let warm = service.answer_batch(&queries, 1);
+        assert_eq!((warm.epoch, warm.stats.shared_scratch_builds), (0, 0));
+        store.publish(FaultSet::from_nodes([NodeId(9)]));
+        let cold = service.answer_batch(&queries, 1);
+        assert_eq!((cold.epoch, cold.stats.shared_scratch_builds), (1, 1));
+        // The new answer reflects the new fault state: node 9 is out.
+        let PlacementAnswer::Placement(Ok(scheme)) = &cold.answers[0] else {
+            panic!("one faulty node cannot make a 64-node job infeasible");
+        };
+        assert!(scheme.groups.iter().all(|g| !g.nodes.contains(&NodeId(9))));
+    }
+
+    #[test]
+    fn what_if_overlays_do_not_leak_into_the_snapshot() {
+        let store = store_with(FaultSet::new());
+        let service = PlacementService::new(Arc::clone(&store));
+        let extra = FaultSet::from_nodes((0..128).map(NodeId));
+        let whatif = service.answer_batch(
+            &[PlacementQuery::WhatIf {
+                request: request(64),
+                extra_faults: extra,
+            }],
+            1,
+        );
+        let after = service.answer_batch(&[PlacementQuery::Place(request(64))], 1);
+        // The snapshot is still fault-free: the plain place may use the nodes
+        // the what-if pretended to fail.
+        let PlacementAnswer::Placement(Ok(scheme)) = &after.answers[0] else {
+            panic!("healthy cluster must place");
+        };
+        assert!(scheme.groups.iter().any(|g| g.nodes[0].index() < 128));
+        assert_eq!(whatif.stats.private_scratch_builds, 1);
+        assert_eq!(store.epoch(), 0);
+    }
+}

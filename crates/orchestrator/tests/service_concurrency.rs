@@ -1,0 +1,141 @@
+//! Concurrency pin of the snapshot store: a publisher swaps snapshots
+//! mid-stream while reader threads batch-query the service, and **every**
+//! answer must be consistent with exactly one published epoch — no torn
+//! reads, no answers mixing the fault state of two epochs.
+//!
+//! The test is seeded and its assertions are timing-independent: the
+//! reference answer of every epoch is precomputed sequentially, the epochs
+//! are constructed so all references are pairwise distinct (a mixed or torn
+//! answer cannot masquerade as another epoch's), and each observed
+//! `BatchReport` is checked against the reference of the epoch it claims.
+//! Which epochs a reader happens to observe depends on scheduling; that the
+//! observation is valid does not.
+
+use orchestrator::service::{
+    BatchReport, PlacementAnswer, PlacementQuery, PlacementService, SnapshotStore,
+};
+use orchestrator::{max_orchestratable_job, FatTreeOrchestrator, OrchestrationRequest};
+use std::sync::Arc;
+use topology::{FatTree, FaultSet};
+
+const NODES: usize = 256;
+const EPOCHS: usize = 6;
+
+/// The fault state of epoch `e`: a scattered pattern whose stride and size
+/// both depend on the epoch, so every epoch shifts the surviving K-Hop runs
+/// and answers differently (asserted below before any concurrency starts).
+fn epoch_faults(e: usize) -> FaultSet {
+    let stride = [3usize, 5, 7, 11, 13, 17][e];
+    FaultSet::from_nodes((0..16 + e * 8).map(|i| hbd_types::NodeId(i * stride % NODES)))
+}
+
+fn probe_queries() -> Vec<PlacementQuery> {
+    let request = OrchestrationRequest {
+        job_nodes: 128,
+        nodes_per_group: 8,
+        k: 2,
+    };
+    vec![
+        PlacementQuery::Place(request),
+        PlacementQuery::MaxJob {
+            nodes_per_group: 8,
+            k: 2,
+        },
+        PlacementQuery::WhatIf {
+            request,
+            extra_faults: FaultSet::from_nodes([hbd_types::NodeId(NODES - 1)]),
+        },
+    ]
+}
+
+/// Sequential per-epoch reference, via the single-query oracles.
+fn reference_answers(orch: &FatTreeOrchestrator, faults: &FaultSet) -> Vec<PlacementAnswer> {
+    probe_queries()
+        .iter()
+        .map(|query| match query {
+            PlacementQuery::Place(request) => {
+                PlacementAnswer::Placement(orch.orchestrate_par(request, faults, 1))
+            }
+            PlacementQuery::MaxJob { nodes_per_group, k } => PlacementAnswer::MaxJob {
+                job_nodes: max_orchestratable_job(orch, *nodes_per_group, *k, faults, 1).job_nodes,
+            },
+            PlacementQuery::WhatIf {
+                request,
+                extra_faults,
+            } => PlacementAnswer::Placement(orch.orchestrate_par(
+                request,
+                &faults.union(extra_faults),
+                1,
+            )),
+        })
+        .collect()
+}
+
+fn assert_consistent(report: &BatchReport, references: &[Vec<PlacementAnswer>]) {
+    let epoch = usize::try_from(report.epoch).unwrap();
+    assert!(epoch < references.len(), "unpublished epoch {epoch}");
+    assert_eq!(
+        report.answers, references[epoch],
+        "answers of epoch {epoch} are not that epoch's reference"
+    );
+}
+
+#[test]
+fn readers_never_observe_a_torn_snapshot() {
+    let orch = Arc::new(FatTreeOrchestrator::new(FatTree::new(NODES, 8, 4).unwrap()).unwrap());
+    let references: Vec<Vec<PlacementAnswer>> = (0..EPOCHS)
+        .map(|e| reference_answers(&orch, &epoch_faults(e)))
+        .collect();
+    // The epochs must be distinguishable, otherwise a mixed answer could
+    // pass as a coherent one.
+    for e in 1..EPOCHS {
+        assert_ne!(
+            references[e - 1],
+            references[e],
+            "epochs {} and {e} must answer differently",
+            e - 1
+        );
+    }
+
+    let store = Arc::new(SnapshotStore::new(Arc::clone(&orch), epoch_faults(0)));
+    let service = Arc::new(PlacementService::new(Arc::clone(&store)));
+    let queries = probe_queries();
+
+    std::thread::scope(|scope| {
+        let publisher_store = Arc::clone(&store);
+        scope.spawn(move || {
+            for e in 1..EPOCHS {
+                assert_eq!(publisher_store.publish(epoch_faults(e)), e as u64);
+                std::thread::yield_now();
+            }
+        });
+        for reader in 0..3usize {
+            let service = Arc::clone(&service);
+            let references = &references;
+            let queries = &queries;
+            scope.spawn(move || {
+                let mut last_epoch = 0u64;
+                for round in 0..12 {
+                    // Vary the fan-out so batches race the publisher under
+                    // different interleavings.
+                    let threads = 1 + (reader + round) % 3;
+                    let report = service.answer_batch(queries, threads);
+                    assert_consistent(&report, references);
+                    // A single store hands out monotonically advancing epochs.
+                    assert!(
+                        report.epoch >= last_epoch,
+                        "epoch went backwards: {} after {last_epoch}",
+                        report.epoch
+                    );
+                    last_epoch = report.epoch;
+                }
+            });
+        }
+    });
+
+    // Quiescence: with the publisher done, the service must answer with the
+    // final epoch's reference.
+    let settled = service.answer_batch(&queries, 2);
+    assert_eq!(settled.epoch, (EPOCHS - 1) as u64);
+    assert_consistent(&settled, &references);
+}

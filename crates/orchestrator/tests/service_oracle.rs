@@ -1,0 +1,100 @@
+//! The oracle pin of the placement-query service layer (standing
+//! oracle-vs-fast-solver practice): batched [`PlacementService`] answers must
+//! be **bit-identical** — same placements, same `NodeId`s, same order, same
+//! errors — to answering each query alone with the sequential single-query
+//! entry points ([`FatTreeOrchestrator::orchestrate_par`] /
+//! [`max_orchestratable_job`]), across random batch compositions, random
+//! fault sets, and 1 / 4 / 16 worker threads.
+
+use orchestrator::service::{PlacementAnswer, PlacementQuery, PlacementService, SnapshotStore};
+use orchestrator::{max_orchestratable_job, FatTreeOrchestrator, OrchestrationRequest};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use topology::{FatTree, FaultSet};
+
+const NODES: usize = 256;
+
+fn orchestrator() -> Arc<FatTreeOrchestrator> {
+    Arc::new(FatTreeOrchestrator::new(FatTree::new(NODES, 8, 4).unwrap()).unwrap())
+}
+
+/// A random query, including occasional invalid requests (the service must
+/// reproduce the oracle's rejection, not mask it).
+fn random_query(rng: &mut StdRng) -> PlacementQuery {
+    let nodes_per_group = [4usize, 8][rng.gen_range(0..2usize)];
+    let k = rng.gen_range(1..=2);
+    let job_nodes = if rng.gen_range(0..10) == 0 {
+        0 // invalid: must answer with the oracle's validation error
+    } else {
+        rng.gen_range(1..=NODES + 32) // occasionally infeasible
+    };
+    let request = OrchestrationRequest {
+        job_nodes,
+        nodes_per_group,
+        k,
+    };
+    match rng.gen_range(0..4) {
+        0 => PlacementQuery::MaxJob { nodes_per_group, k },
+        1 => {
+            let extra = FaultSet::from_nodes(
+                (0..rng.gen_range(0..20)).map(|_| hbd_types::NodeId(rng.gen_range(0..NODES))),
+            );
+            PlacementQuery::WhatIf {
+                request,
+                extra_faults: extra,
+            }
+        }
+        _ => PlacementQuery::Place(request),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batched_answers_match_the_sequential_oracle(
+        seed in 0u64..10_000,
+        batch_len in 1usize..13,
+        fault_count in 0usize..48,
+        threads_idx in 0usize..3,
+    ) {
+        let threads = [1usize, 4, 16][threads_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let faults = FaultSet::from_nodes(
+            (0..fault_count).map(|_| hbd_types::NodeId(rng.gen_range(0..NODES))),
+        );
+        let queries: Vec<PlacementQuery> =
+            (0..batch_len).map(|_| random_query(&mut rng)).collect();
+
+        let orch = orchestrator();
+        let store = Arc::new(SnapshotStore::new(Arc::clone(&orch), faults.clone()));
+        let service = PlacementService::new(store);
+        let report = service.answer_batch(&queries, threads);
+
+        prop_assert_eq!(report.epoch, 0);
+        prop_assert_eq!(report.answers.len(), queries.len());
+        prop_assert_eq!(report.costs.len(), queries.len());
+        for (i, (query, answer)) in queries.iter().zip(&report.answers).enumerate() {
+            let expected = match query {
+                PlacementQuery::Place(request) => {
+                    PlacementAnswer::Placement(orch.orchestrate_par(request, &faults, 1))
+                }
+                PlacementQuery::MaxJob { nodes_per_group, k } => PlacementAnswer::MaxJob {
+                    job_nodes: max_orchestratable_job(&orch, *nodes_per_group, *k, &faults, 1)
+                        .job_nodes,
+                },
+                PlacementQuery::WhatIf {
+                    request,
+                    extra_faults,
+                } => PlacementAnswer::Placement(orch.orchestrate_par(
+                    request,
+                    &faults.union(extra_faults),
+                    1,
+                )),
+            };
+            prop_assert_eq!(answer, &expected, "query {} of {:?}", i, query);
+        }
+    }
+}

@@ -182,6 +182,16 @@ impl FaultSet {
         }
     }
 
+    /// Returns `self ∪ other` without mutating either side — the what-if
+    /// primitive of the placement service, which overlays hypothetical faults
+    /// on a shared snapshot it must not touch.
+    #[must_use]
+    pub fn union(&self, other: &FaultSet) -> FaultSet {
+        let mut merged = self.clone();
+        merged.union_with(other);
+        merged
+    }
+
     /// Adds every faulty node of `other` to `self` — a word-wise OR,
     /// O(words).
     pub fn union_with(&mut self, other: &FaultSet) {
@@ -474,6 +484,19 @@ mod tests {
         let mut c = FaultSet::from_nodes([NodeId(300)]);
         c.union_with(&FaultSet::from_nodes([NodeId(0)]));
         assert_eq!(c, FaultSet::from_nodes([NodeId(0), NodeId(300)]));
+    }
+
+    #[test]
+    fn union_is_the_non_mutating_overlay() {
+        let base = FaultSet::from_nodes([NodeId(1), NodeId(70)]);
+        let extra = FaultSet::from_nodes([NodeId(2), NodeId(300)]);
+        let merged = base.union(&extra);
+        let expect = FaultSet::from_nodes([NodeId(1), NodeId(2), NodeId(70), NodeId(300)]);
+        assert_eq!(merged, expect);
+        assert_eq!(merged.len(), 4);
+        // Neither operand moved.
+        assert_eq!(base, FaultSet::from_nodes([NodeId(1), NodeId(70)]));
+        assert_eq!(extra, FaultSet::from_nodes([NodeId(2), NodeId(300)]));
     }
 
     #[test]

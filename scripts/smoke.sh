@@ -78,6 +78,15 @@ echo "==> lifecycle simulator smoke gate"
 cargo run --release --bin experiments -- \
   --only ext_lifecycle --scale 0.05 --threads 2 > /dev/null
 
+echo "==> placement-service throughput smoke gate"
+# Drives the open-loop query stream of the service-layer experiment at smoke
+# scale across a multi-threaded fan-out; bit-stability of the same run in the
+# seed and the thread count is asserted by tests/integration_determinism.rs,
+# and the batched answers themselves are pinned to the single-query oracle by
+# crates/orchestrator/tests/service_oracle.rs.
+cargo run --release --bin experiments -- \
+  --only ext_service_throughput --scale 0.05 --threads 2 > /dev/null
+
 echo "==> control-plane sim seed replay gate"
 # Replays the two regression seeds pinned in crates/control/src/sim.rs
 # through the public CLI: the driver exits non-zero if the run misses
