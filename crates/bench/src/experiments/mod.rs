@@ -7,6 +7,7 @@ pub mod appg_alltoall;
 pub mod appg_alltoall_fastswitch;
 pub mod ext_dcn_congestion;
 pub mod ext_failover_recovery;
+pub mod ext_incremental_publish;
 pub mod ext_interference_vs_jobs;
 pub mod ext_lifecycle_churn;
 pub mod ext_lifecycle_faults;

@@ -11,7 +11,7 @@
 //! thread count**: stochastic sweeps draw from per-shard RNG streams derived
 //! from the master seed (see [`par`]), so `--threads 1` and `--threads N`
 //! produce byte-identical JSON — the property the workspace-level
-//! `integration_determinism` suite asserts for all 34 registered experiments.
+//! `integration_determinism` suite asserts for all 35 registered experiments.
 
 pub mod experiments;
 pub mod registry;
@@ -28,8 +28,8 @@ pub mod par {
 /// `bench::service::PlacementService`.
 pub mod service {
     pub use infinitehbd::orchestrator::service::{
-        BatchReport, BatchStats, ClusterSnapshot, PlacementAnswer, PlacementQuery,
-        PlacementService, QueryCost, QueryKind, SnapshotStore,
+        BatchReport, BatchStats, ClusterSnapshot, PatchTally, PlacementAnswer, PlacementQuery,
+        PlacementService, QueryCost, QueryKind, SnapshotDelta, SnapshotStore,
     };
 }
 

@@ -165,6 +165,9 @@ pub fn all() -> &'static [Experiment] {
         ext_service_throughput
             / "Service (ext)"
             / "Placement-service sustained load, batching sweep and modeled tail latency",
+        ext_incremental_publish
+            / "Service (ext)"
+            / "Delta-published epochs: segment reuse and modeled publish latency vs churn rate",
         fig17d_aggregate_cost / "Economics (§6.4)" / "Normalized aggregate cost vs fault ratio",
         table6_cost_power / "Economics (§6.4)" / "Interconnect cost and power per GPU and per GBps",
         table7_waste_bound
@@ -190,7 +193,7 @@ mod tests {
     #[test]
     fn registry_has_all_experiments_with_unique_names() {
         let experiments = all();
-        assert_eq!(experiments.len(), 34);
+        assert_eq!(experiments.len(), 35);
         let mut names: Vec<&str> = experiments.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();

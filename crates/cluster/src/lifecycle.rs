@@ -319,6 +319,13 @@ pub struct LifecycleOutcome {
     pub defrag_moves: usize,
     /// Defragmentation passes triggered.
     pub defrag_passes: usize,
+    /// Snapshot epochs actually published over the run: delta publishes that
+    /// carried at least one net node flip of the exclusion set.
+    pub epochs_published: usize,
+    /// Republishes skipped because the transition left the exclusion set
+    /// unchanged — e.g. a fault on an already-placed node, a repair of a node
+    /// still owned by a job, or flips that cancelled before the publish.
+    pub republish_skips: usize,
     /// Clock rewind attempts (0 for a well-ordered event stream; exposed so a
     /// mis-ordered schedule is detectable).
     pub clock_rewinds: u64,
@@ -442,6 +449,9 @@ struct SimState<'a> {
     placement_latencies: Vec<f64>,
     productive_node_seconds: f64,
     defrag_passes: usize,
+    // Publish accounting (see the fields of the same name on the outcome).
+    epochs_published: usize,
+    republish_skips: usize,
     // Fragmentation / utilisation time integrals.
     last_t: f64,
     frag_current: f64,
@@ -451,11 +461,16 @@ struct SimState<'a> {
 }
 
 impl SimState<'_> {
-    /// Republishes the ledger's exclusion union as the next snapshot epoch.
+    /// Publishes the ledger's *pending delta* as the next snapshot epoch.
     /// Called after every ledger transition so the service always answers
-    /// against exactly the live exclusion state.
-    fn sync_snapshot(&self) {
-        self.ledger.publish(self.service.store());
+    /// against exactly the live exclusion state; transitions whose flips
+    /// cancelled out (or never touched the exclusion union) skip the publish
+    /// entirely, so queue-only churn costs no epoch.
+    fn sync_snapshot(&mut self) {
+        match self.ledger.publish_delta(self.service.store()) {
+            Some(_) => self.epochs_published += 1,
+            None => self.republish_skips += 1,
+        }
     }
 
     /// One placement probe against the live snapshot, via the service.
@@ -726,6 +741,8 @@ pub fn simulate(
         placement_latencies: Vec::new(),
         productive_node_seconds: 0.0,
         defrag_passes: 0,
+        epochs_published: 0,
+        republish_skips: 0,
         last_t: 0.0,
         frag_current: 0.0,
         frag_integral: 0.0,
@@ -867,6 +884,8 @@ pub fn simulate(
         fault_waits: jobs.iter().map(|j| j.fault_waits).sum(),
         defrag_moves: jobs.iter().map(|j| j.defrag_moves).sum(),
         defrag_passes: state.defrag_passes,
+        epochs_published: state.epochs_published,
+        republish_skips: state.republish_skips,
         frag_mean: state.frag_integral / horizon,
         frag_max: state.frag_max,
         frag_final: state.frag_current,
@@ -1118,6 +1137,38 @@ mod tests {
         assert_eq!(with.jobs[1].status, JobStatus::Running);
         assert_eq!(with.jobs[3].status, JobStatus::Running);
         assert_eq!(with.fault_waits, 0);
+    }
+
+    #[test]
+    fn transitions_that_do_not_change_the_exclusion_set_skip_the_republish() {
+        let orch = orchestrator(32);
+        let workload = Workload::from_arrivals(vec![arrival("solo", 0.0, 8, 9000.0)]);
+        let events = vec![
+            NodeEvent {
+                at: Seconds(100.0),
+                node: NodeId(30),
+                kind: NodeEventKind::Fault,
+            },
+            // The same sensor fires again: the node is already excluded, so
+            // the transition is a no-op and the republish is skipped.
+            NodeEvent {
+                at: Seconds(200.0),
+                node: NodeId(30),
+                kind: NodeEventKind::Fault,
+            },
+            // Repairing a node that was never down is a no-op too.
+            NodeEvent {
+                at: Seconds(300.0),
+                node: NodeId(31),
+                kind: NodeEventKind::Repair,
+            },
+        ];
+        let outcome = simulate(&orch, &workload, &events, &config(32)).unwrap();
+        assert_eq!(outcome.completed, 1);
+        // Three real exclusion changes publish (admission, the first fault,
+        // the departure's release); the two no-op transitions skip.
+        assert_eq!(outcome.epochs_published, 3);
+        assert_eq!(outcome.republish_skips, 2);
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! ([`crate::engine`]).
 
 use hbd_types::{NodeId, Result};
-use orchestrator::{greedy_placement, FatTreeOrchestrator, OrchestrationRequest, PlacementScheme};
+use orchestrator::{
+    greedy_placement, FatTreeOrchestrator, OrchestrationRequest, PlacementScheme, SnapshotDelta,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use topology::FaultSet;
@@ -57,11 +59,23 @@ pub struct PlacedJob {
 /// The invariant `excluded == faulty ∪ placed` is pinned bit-for-bit against
 /// a rebuild-from-scratch oracle by the `jobmix_ledger_properties` proptest
 /// suite.
+///
+/// The ledger also emits snapshot *deltas* natively: every transition that
+/// flips a node in or out of the exclusion union records the net flip in a
+/// pending [`SnapshotDelta`], and [`ExclusionLedger::publish_delta`] hands
+/// exactly that delta to the store — so a publish costs the nodes that
+/// changed since the last publish, never a clone of the whole union. Flips
+/// that cancel (occupy then release between two publishes) leave no trace,
+/// and an empty pending delta means the publish can be skipped outright.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExclusionLedger {
     faulty: FaultSet,
     placed: FaultSet,
     excluded: FaultSet,
+    /// Net exclusion flips since the last publish. Invariant: a node is in
+    /// at most one of the three sets, and `pending` applied to the last
+    /// published state reproduces `excluded` exactly.
+    pending: SnapshotDelta,
 }
 
 impl ExclusionLedger {
@@ -70,12 +84,35 @@ impl ExclusionLedger {
         Self::default()
     }
 
-    /// A ledger seeded with an initial fault set.
+    /// A ledger seeded with an initial fault set. The seed counts as already
+    /// published state only if the paired store was created with the same
+    /// faults; otherwise call [`publish`](Self::publish) once to align.
     pub fn with_faults(faults: &FaultSet) -> Self {
         ExclusionLedger {
             faulty: faults.clone(),
             placed: FaultSet::new(),
             excluded: faults.clone(),
+            pending: SnapshotDelta::new(),
+        }
+    }
+
+    /// Records that `node` flipped *into* the exclusion union. A flip that
+    /// merely undoes a pending release cancels instead of accumulating.
+    fn flip_on(&mut self, node: NodeId, faulted: bool) {
+        if !self.pending.released.remove(node) {
+            if faulted {
+                self.pending.faulted.add(node);
+            } else {
+                self.pending.occupied.add(node);
+            }
+        }
+    }
+
+    /// Records that `node` flipped *out of* the exclusion union, cancelling
+    /// a not-yet-published exclusion of the same node if there is one.
+    fn flip_off(&mut self, node: NodeId) {
+        if !(self.pending.occupied.remove(node) || self.pending.faulted.remove(node)) {
+            self.pending.released.add(node);
         }
     }
 
@@ -83,7 +120,9 @@ impl ExclusionLedger {
     /// A node can be faulty and placed at the same time (a fault striking a
     /// running job); it stays excluded until *both* reasons are gone.
     pub fn fault(&mut self, node: NodeId) -> bool {
-        self.excluded.add(node);
+        if self.excluded.add(node) {
+            self.flip_on(node, true);
+        }
         self.faulty.add(node)
     }
 
@@ -91,8 +130,8 @@ impl ExclusionLedger {
     /// The node becomes available again only if no placement still owns it.
     pub fn repair(&mut self, node: NodeId) -> bool {
         let was_faulty = self.faulty.remove(node);
-        if was_faulty && !self.placed.is_faulty(node) {
-            self.excluded.remove(node);
+        if was_faulty && !self.placed.is_faulty(node) && self.excluded.remove(node) {
+            self.flip_off(node);
         }
         was_faulty
     }
@@ -105,7 +144,9 @@ impl ExclusionLedger {
             for &node in &group.nodes {
                 let newly = self.placed.add(node);
                 debug_assert!(newly, "node {node} placed twice");
-                self.excluded.add(node);
+                if self.excluded.add(node) {
+                    self.flip_on(node, false);
+                }
             }
         }
     }
@@ -117,8 +158,8 @@ impl ExclusionLedger {
             for &node in &group.nodes {
                 let was = self.placed.remove(node);
                 debug_assert!(was, "node {node} released but not placed");
-                if !self.faulty.is_faulty(node) {
-                    self.excluded.remove(node);
+                if !self.faulty.is_faulty(node) && self.excluded.remove(node) {
+                    self.flip_off(node);
                 }
             }
         }
@@ -145,12 +186,41 @@ impl ExclusionLedger {
         self.placed.is_faulty(node)
     }
 
-    /// Publishes the current exclusion union as the next epoch of `store` —
-    /// the bridge from the incrementally maintained ledger to the read-mostly
-    /// snapshot path of the placement service. Callers publish after every
-    /// ledger transition so service readers always see `excluded()` exactly.
-    pub fn publish(&self, store: &orchestrator::service::SnapshotStore) -> u64 {
+    /// The net exclusion flips accumulated since the last publish. Empty
+    /// exactly when a publish would be a no-op.
+    pub fn pending_delta(&self) -> &SnapshotDelta {
+        &self.pending
+    }
+
+    /// Publishes the current exclusion union *wholesale* as the next epoch of
+    /// `store` — the cluster-sized fallback bridge from the ledger to the
+    /// snapshot path. Drains the pending delta (the new snapshot equals
+    /// `excluded()` exactly, so nothing is outstanding afterwards). Prefer
+    /// [`publish_delta`](Self::publish_delta) on hot paths.
+    pub fn publish(&mut self, store: &orchestrator::service::SnapshotStore) -> u64 {
+        self.pending = SnapshotDelta::new();
         store.publish(self.excluded.clone())
+    }
+
+    /// Publishes the pending delta as the next epoch of `store` and drains
+    /// it, making the publish cost proportional to the nodes that actually
+    /// flipped since the last publish. Returns `None` — skipping the publish
+    /// entirely — when nothing flipped (e.g. a queue-only transition, or
+    /// flips that cancelled out). Requires the store's current snapshot to
+    /// match the ledger's last published state, which holds whenever every
+    /// publish of the store goes through this ledger.
+    pub fn publish_delta(&mut self, store: &orchestrator::service::SnapshotStore) -> Option<u64> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let delta = std::mem::take(&mut self.pending);
+        let epoch = store.publish_delta(&delta);
+        debug_assert_eq!(
+            store.load().value.faults(),
+            &self.excluded,
+            "delta publish must reproduce the ledger's exclusion union"
+        );
+        Some(epoch)
     }
 }
 

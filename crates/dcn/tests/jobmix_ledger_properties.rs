@@ -136,4 +136,69 @@ proptest! {
             prop_assert_eq!(ledger.placed_nodes(), placed);
         }
     }
+
+    /// Driving one ledger through `publish_delta` and a twin through full
+    /// `publish` lands both stores on identical snapshot fault sets at every
+    /// publish point — the delta path reproduces the wholesale path exactly
+    /// while skipping publishes whose flips cancelled out.
+    #[test]
+    fn delta_publishes_match_full_publishes(ops in arbitrary_ops(), period in 1usize..6) {
+        use orchestrator::{FatTreeOrchestrator, SnapshotStore};
+        use std::sync::Arc;
+        use topology::FatTree;
+        let orch =
+            Arc::new(FatTreeOrchestrator::new(FatTree::new(NODES, 4, 4).unwrap()).unwrap());
+        let delta_store = SnapshotStore::new(Arc::clone(&orch), FaultSet::new());
+        let full_store = SnapshotStore::new(Arc::clone(&orch), FaultSet::new());
+        let mut delta_ledger = ExclusionLedger::new();
+        let mut full_ledger = ExclusionLedger::new();
+        let mut active: Vec<Option<PlacementScheme>> = vec![None; 6];
+        let mut last_epoch = 0;
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Fault(n) => {
+                    delta_ledger.fault(NodeId(*n));
+                    full_ledger.fault(NodeId(*n));
+                }
+                Op::Repair(n) => {
+                    delta_ledger.repair(NodeId(*n));
+                    full_ledger.repair(NodeId(*n));
+                }
+                Op::Place { slot, start, len } => {
+                    if let Some(old) = active[*slot].take() {
+                        delta_ledger.release(&old);
+                        full_ledger.release(&old);
+                    }
+                    let scheme = build_scheme(*start, *len, &active);
+                    if scheme.nodes_placed() > 0 {
+                        delta_ledger.place(&scheme);
+                        full_ledger.place(&scheme);
+                        active[*slot] = Some(scheme);
+                    }
+                }
+                Op::Release(slot) => {
+                    if let Some(old) = active[*slot].take() {
+                        delta_ledger.release(&old);
+                        full_ledger.release(&old);
+                    }
+                }
+            }
+            if i % period == period - 1 {
+                let published = delta_ledger.publish_delta(&delta_store);
+                full_ledger.publish(&full_store);
+                let delta_snapshot = delta_store.load();
+                let full_snapshot = full_store.load();
+                prop_assert_eq!(delta_snapshot.value.faults(), full_snapshot.value.faults());
+                prop_assert_eq!(delta_snapshot.value.faults(), delta_ledger.excluded());
+                prop_assert!(delta_ledger.pending_delta().is_empty());
+                match published {
+                    // A skip is only legal when nothing flipped: the epoch
+                    // must not have moved.
+                    None => prop_assert_eq!(delta_store.epoch(), last_epoch),
+                    Some(epoch) => prop_assert_eq!(epoch, last_epoch + 1),
+                }
+                last_epoch = delta_store.epoch();
+            }
+        }
+    }
 }

@@ -75,6 +75,22 @@ impl<T> EpochCell<T> {
         self.epoch.store(epoch, Ordering::Release);
         epoch
     }
+
+    /// Publishes the value computed by `f` from the currently published one,
+    /// atomically with respect to other publishers: the write lock is held
+    /// across both the read of the current slot and the swap, so no other
+    /// publish can interleave. This is the delta-publish primitive — `f`
+    /// typically clones the current value and applies a small edit, making
+    /// the publish cost proportional to the delta rather than re-deriving
+    /// the whole value outside the cell and racing other writers.
+    pub fn publish_with<F: FnOnce(&Versioned<T>) -> T>(&self, f: F) -> u64 {
+        let mut slot = self.slot.write().expect("no publisher panicked");
+        let value = f(&slot);
+        let epoch = slot.epoch + 1;
+        *slot = Arc::new(Versioned { epoch, value });
+        self.epoch.store(epoch, Ordering::Release);
+        epoch
+    }
 }
 
 #[cfg(test)]
@@ -97,6 +113,28 @@ mod tests {
         assert_eq!(cell.epoch(), 2);
         let v = cell.load();
         assert_eq!((v.epoch, v.value.as_str()), (2, "c"));
+    }
+
+    #[test]
+    fn publish_with_derives_from_the_current_value_atomically() {
+        let cell = EpochCell::new(10u64);
+        assert_eq!(cell.publish_with(|cur| cur.value + 5), 1);
+        assert_eq!(cell.load().value, 15);
+        // Racing derive-publishers never lose an update: the closure reads
+        // the slot under the same write lock that installs its result.
+        let cell = Arc::new(EpochCell::new(0u64));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cell = Arc::clone(&cell);
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        cell.publish_with(|cur| cur.value + 1);
+                    }
+                });
+            }
+        });
+        let v = cell.load();
+        assert_eq!((v.epoch, v.value), (200, 200));
     }
 
     #[test]

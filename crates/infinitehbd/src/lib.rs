@@ -93,7 +93,7 @@ pub mod prelude {
     pub use orchestrator::{
         cross_tor_rate, greedy_placement, max_orchestratable_job, FatTreeOrchestrator,
         MaxJobReport, OrchestrationRequest, PlacementQuery, PlacementScheme, PlacementService,
-        SnapshotStore, TrafficModel,
+        SnapshotDelta, SnapshotStore, TrafficModel,
     };
     pub use topology::{
         paper_architectures, BigSwitch, BinaryHopRing, DojoMesh, FatTree, FaultSet,

@@ -24,6 +24,7 @@ use crate::deployment::DeploymentStrategy;
 use crate::scheme::PlacementScheme;
 use hbd_types::{HbdError, NodeId, Result};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use topology::runscan::scan_khop_runs;
 use topology::{FatTree, FaultSet};
 
@@ -69,20 +70,28 @@ pub struct FatTreeOrchestrator {
 /// immutably across the probe-evaluation threads.
 #[derive(Debug)]
 pub(crate) struct SearchScratch {
-    /// The deployment order (Algorithm 3), computed once per search.
-    order: Vec<NodeId>,
+    /// The deployment order (Algorithm 3). Layout-only (fault-independent),
+    /// so patched scratches share it by `Arc`.
+    order: Arc<Vec<NodeId>>,
     /// For every node id, the sub-line segment owning it (`usize::MAX` for
     /// nodes outside any segment, e.g. a trailing partial rack). Replaces the
     /// per-probe `consumed` set: a probe with `c` constrained segments keeps
-    /// exactly the nodes with `owner >= c` in its residual pass.
-    owner: Vec<usize>,
+    /// exactly the nodes with `owner >= c` in its residual pass. Layout-only,
+    /// shared by `Arc` like `order`.
+    owner: Arc<Vec<usize>>,
     /// Both memoized placement variants per segment, in segment order.
     /// Shorter than the segment pool when a segment is undefined for the
-    /// layout (mirrors the `break` in the uncached loop).
-    segments: Vec<SegmentCache>,
+    /// layout (mirrors the `break` in the uncached loop). Each entry is
+    /// `Arc`-shared so a patch carries clean segments over for free.
+    segments: Vec<Arc<SegmentCache>>,
     /// `effective[a]` = the fault set with the ToR expansion applied in
     /// domains `< a`; `effective[0]` is the raw fault set.
     effective: Vec<FaultSet>,
+    /// The fault set this scratch was built from — the source of the
+    /// per-segment fingerprints: a segment's fingerprint is the fault words
+    /// covering its aggregation domain, read out of this set with
+    /// [`FaultSet::range_eq`] when a patch decides what to re-orchestrate.
+    fingerprint: FaultSet,
 }
 
 /// The two placements a sub-line segment can contribute, depending only on
@@ -91,6 +100,28 @@ pub(crate) struct SearchScratch {
 struct SegmentCache {
     raw: PlacementScheme,
     aligned: PlacementScheme,
+}
+
+/// What one `FatTreeOrchestrator::patch_scratch` call re-derived versus
+/// carried over — the observability hook of the incremental publish path
+/// (aggregated by the placement service into its patch tally).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchPatchStats {
+    /// Sub-line segments with at least one placement variant re-orchestrated.
+    pub segments_reorchestrated: usize,
+    /// Sub-line segments carried over without re-orchestration.
+    pub segments_reused: usize,
+    /// Aggregation domains whose fault words changed.
+    pub domains_patched: usize,
+}
+
+impl ScratchPatchStats {
+    /// Accumulates another patch's counts into `self`.
+    pub fn absorb(&mut self, other: &ScratchPatchStats) {
+        self.segments_reorchestrated += other.segments_reorchestrated;
+        self.segments_reused += other.segments_reused;
+        self.domains_patched += other.domains_patched;
+    }
 }
 
 impl FatTreeOrchestrator {
@@ -271,7 +302,7 @@ impl FatTreeOrchestrator {
             for node in &nodes {
                 owner[node.index()] = seg;
             }
-            segments.push(SegmentCache {
+            segments.push(Arc::new(SegmentCache {
                 raw: orchestrate_dcn_free(
                     &nodes,
                     request.k,
@@ -284,15 +315,156 @@ impl FatTreeOrchestrator {
                     fully_expanded,
                     request.nodes_per_group,
                 ),
-            });
+            }));
         }
 
         SearchScratch {
-            order: self.deployment.deployment_order(),
-            owner,
+            order: Arc::new(self.deployment.deployment_order()),
+            owner: Arc::new(owner),
             segments,
             effective,
+            fingerprint: faults.clone(),
         }
+    }
+
+    /// Derives the scratch for `faults` from a scratch previously built (or
+    /// patched) for the same `(k, nodes_per_group)` key under a different
+    /// fault set — the incremental half of the oracle-vs-fast-solver pair
+    /// whose oracle is the cold [`search_scratch`](Self::search_scratch)
+    /// rebuild. Cost is proportional to the *delta* between the two fault
+    /// sets, not the cluster:
+    ///
+    /// * the deployment order and ownership mask are layout-only and shared
+    ///   by `Arc`;
+    /// * an aggregation domain whose fault words are unchanged
+    ///   ([`FaultSet::range_eq`] against the old scratch's fingerprint)
+    ///   contributes nothing — its segments are `Arc`-cloned and its slices
+    ///   of every effective set are already correct;
+    /// * a dirty domain splices its new raw words into the effective sets
+    ///   that keep it unexpanded and its rebuilt ToR expansion into the rest
+    ///   ([`FaultSet::splice_range`]), exact because the ToR expansion never
+    ///   crosses a domain boundary;
+    /// * only segments whose own nodes' raw (resp. expanded) bits flipped
+    ///   re-orchestrate their raw (resp. aligned) variant; every other
+    ///   variant is carried over.
+    ///
+    /// Bit-exactness versus the cold rebuild follows from
+    /// `orchestrate_dcn_free` being a deterministic function of the fault
+    /// bits on the segment's own nodes: an unchanged fingerprint implies an
+    /// identical placement, so cloning it is indistinguishable from
+    /// recomputing it. Pinned field-for-field by the patch proptests below.
+    pub(crate) fn patch_scratch(
+        &self,
+        request: &OrchestrationRequest,
+        old: &SearchScratch,
+        faults: &FaultSet,
+    ) -> (SearchScratch, ScratchPatchStats) {
+        let p = self.deployment.sublines();
+        let npd = self.fat_tree.nodes_per_aggregation_domain();
+        let tors_per_domain = npd / p;
+        let n_domains = self.alignment_constraints();
+
+        let mut effective = old.effective.clone();
+        let mut raw_dirty = vec![false; old.segments.len()];
+        let mut aligned_dirty = vec![false; old.segments.len()];
+        let mut stats = ScratchPatchStats::default();
+        let mark = |flags: &mut [bool], domain: usize, node: NodeId| {
+            if let Some(flag) = flags.get_mut(domain * p + node.index() % p) {
+                *flag = true;
+            }
+        };
+
+        let old_expanded = old.effective.last().expect("effective[0] always exists");
+        for domain in 0..n_domains {
+            let (lo, hi) = (domain * npd, (domain + 1) * npd);
+            if faults.range_eq(&old.fingerprint, lo, hi) {
+                continue;
+            }
+            stats.domains_patched += 1;
+            // Raw flips: mark the owning segment of every flipped node and
+            // splice the new raw words into the effective sets that keep this
+            // domain unexpanded (`a <= domain`).
+            for node in faults.iter_range(lo, hi) {
+                if !old.fingerprint.is_faulty(node) {
+                    mark(&mut raw_dirty, domain, node);
+                }
+            }
+            for node in old.fingerprint.iter_range(lo, hi) {
+                if !faults.is_faulty(node) {
+                    mark(&mut raw_dirty, domain, node);
+                }
+            }
+            for eff in effective.iter_mut().take(domain + 1) {
+                eff.splice_range(faults, lo, hi);
+            }
+            // Expanded flips: rebuild this domain's ToR expansion (adds only
+            // in-domain bits — `npd` is a multiple of `p`) and diff it
+            // against the old fully-expanded set. Only segments the
+            // expansion delta touches lose their aligned variant.
+            let mut expanded = FaultSet::new();
+            for node in faults.iter_range(lo, hi) {
+                expanded.add(node);
+                self.expand_tor(&mut expanded, node);
+            }
+            for node in expanded.iter_range(lo, hi) {
+                if !old_expanded.is_faulty(node) {
+                    mark(&mut aligned_dirty, domain, node);
+                }
+            }
+            for node in old_expanded.iter_range(lo, hi) {
+                if !expanded.is_faulty(node) {
+                    mark(&mut aligned_dirty, domain, node);
+                }
+            }
+            for eff in effective.iter_mut().skip(domain + 1) {
+                eff.splice_range(&expanded, lo, hi);
+            }
+        }
+
+        // Faults past the last aggregation domain are never ToR-expanded and
+        // own no segment: splice them raw into every effective set.
+        let tail = n_domains * npd;
+        if !faults.range_eq(&old.fingerprint, tail, usize::MAX) {
+            for eff in effective.iter_mut() {
+                eff.splice_range(faults, tail, usize::MAX);
+            }
+        }
+
+        let last = effective.len() - 1;
+        let mut segments = Vec::with_capacity(old.segments.len());
+        for (seg, cache) in old.segments.iter().enumerate() {
+            let (raw_hit, aligned_hit) = (raw_dirty[seg], aligned_dirty[seg]);
+            if !raw_hit && !aligned_hit {
+                segments.push(Arc::clone(cache));
+                stats.segments_reused += 1;
+                continue;
+            }
+            stats.segments_reorchestrated += 1;
+            let nodes = self
+                .deployment
+                .subline_segment(seg % p, seg / p, tors_per_domain)
+                .expect("segment was defined when the old scratch was built");
+            let raw = if raw_hit {
+                orchestrate_dcn_free(&nodes, request.k, &effective[0], request.nodes_per_group)
+            } else {
+                cache.raw.clone()
+            };
+            let aligned = if aligned_hit {
+                orchestrate_dcn_free(&nodes, request.k, &effective[last], request.nodes_per_group)
+            } else {
+                cache.aligned.clone()
+            };
+            segments.push(Arc::new(SegmentCache { raw, aligned }));
+        }
+
+        let scratch = SearchScratch {
+            order: Arc::clone(&old.order),
+            owner: Arc::clone(&old.owner),
+            segments,
+            effective,
+            fingerprint: faults.clone(),
+        };
+        (scratch, stats)
     }
 
     /// [`placement_with_constraints`](Self::placement_with_constraints)
@@ -508,7 +680,30 @@ impl FatTreeOrchestrator {
 mod tests {
     use super::*;
     use crate::traffic::{cross_tor_rate, TrafficModel};
+    use proptest::prelude::*;
     use std::collections::BTreeSet;
+
+    /// The patch path's oracle: a patched scratch must be indistinguishable,
+    /// field for field, from a cold [`FatTreeOrchestrator::search_scratch`]
+    /// rebuild against the same fault set.
+    fn assert_matches_cold_rebuild(
+        orch: &FatTreeOrchestrator,
+        req: &OrchestrationRequest,
+        patched: &SearchScratch,
+        faults: &FaultSet,
+    ) -> SearchScratch {
+        let cold = orch.search_scratch(req, faults);
+        assert_eq!(*patched.order, *cold.order);
+        assert_eq!(*patched.owner, *cold.owner);
+        assert_eq!(patched.effective, cold.effective);
+        assert_eq!(patched.fingerprint, cold.fingerprint);
+        assert_eq!(patched.segments.len(), cold.segments.len());
+        for (seg, (p, c)) in patched.segments.iter().zip(&cold.segments).enumerate() {
+            assert_eq!(p.raw, c.raw, "segment {seg} raw placement");
+            assert_eq!(p.aligned, c.aligned, "segment {seg} aligned placement");
+        }
+        cold
+    }
 
     fn orchestrator() -> FatTreeOrchestrator {
         // 512 nodes, 16 per ToR, 8 ToRs per aggregation domain (so one sub-line
@@ -646,6 +841,139 @@ mod tests {
                 orch.orchestrate_par(&req, &faults, 1),
                 "job_nodes {job_nodes}"
             );
+        }
+    }
+
+    #[test]
+    fn empty_delta_patch_reuses_every_segment() {
+        let orch = orchestrator();
+        let req = request(360);
+        let faults = FaultSet::from_nodes((0..20).map(|i| NodeId(i * 23)));
+        let scratch = orch.search_scratch(&req, &faults);
+        let (patched, stats) = orch.patch_scratch(&req, &scratch, &faults);
+        assert_eq!(stats.domains_patched, 0);
+        assert_eq!(stats.segments_reorchestrated, 0);
+        assert_eq!(stats.segments_reused, scratch.segments.len());
+        assert_matches_cold_rebuild(&orch, &req, &patched, &faults);
+    }
+
+    #[test]
+    fn full_delta_patch_matches_cold_rebuild_exactly() {
+        // A delta flipping a node in every sub-line of every domain dirties
+        // every segment; the patched scratch must still equal a cold rebuild.
+        let orch = orchestrator();
+        let req = request(360);
+        let old = FaultSet::from_nodes([NodeId(5)]);
+        let scratch = orch.search_scratch(&req, &old);
+        let p = orch.deployment().sublines();
+        let new = FaultSet::from_nodes((0..orch.fat_tree().nodes() / p).map(|t| NodeId(t * p)));
+        let (patched, stats) = orch.patch_scratch(&req, &scratch, &new);
+        assert_eq!(stats.domains_patched, orch.alignment_constraints());
+        assert_eq!(stats.segments_reorchestrated, scratch.segments.len());
+        assert_eq!(stats.segments_reused, 0);
+        assert_matches_cold_rebuild(&orch, &req, &patched, &new);
+    }
+
+    #[test]
+    fn small_delta_patch_reorchestrates_only_touched_sublines() {
+        let orch = orchestrator();
+        let req = request(360);
+        let faults = FaultSet::from_nodes([NodeId(40), NodeId(300)]);
+        let scratch = orch.search_scratch(&req, &faults);
+        // One added fault: it dirties its own sub-line's raw variant and, via
+        // the ToR expansion, the aligned variants of its rack peers' sub-lines
+        // — never a segment of another domain.
+        let mut bumped = faults.clone();
+        bumped.add(NodeId(129));
+        let (patched, stats) = orch.patch_scratch(&req, &scratch, &bumped);
+        assert_eq!(stats.domains_patched, 1);
+        assert!(stats.segments_reorchestrated <= orch.deployment().sublines());
+        assert_eq!(
+            stats.segments_reused + stats.segments_reorchestrated,
+            scratch.segments.len()
+        );
+        assert_matches_cold_rebuild(&orch, &req, &patched, &bumped);
+    }
+
+    #[test]
+    fn occupy_release_round_trip_returns_to_the_prior_fingerprint() {
+        let orch = orchestrator();
+        let req = request(360);
+        let base = FaultSet::from_nodes((0..12).map(|i| NodeId(i * 31)));
+        let origin = orch.search_scratch(&req, &base);
+        // Occupy a handful of nodes, then release them: the fingerprint is
+        // back to `base` and the twice-patched scratch must equal the origin.
+        let mut occupied = base.clone();
+        for id in [64usize, 65, 200, 450] {
+            occupied.add(NodeId(id));
+        }
+        let (mid, _) = orch.patch_scratch(&req, &origin, &occupied);
+        assert_matches_cold_rebuild(&orch, &req, &mid, &occupied);
+        let (back, _) = orch.patch_scratch(&req, &mid, &base);
+        assert_eq!(back.fingerprint, origin.fingerprint);
+        assert_matches_cold_rebuild(&orch, &req, &back, &base);
+    }
+
+    #[test]
+    fn tail_faults_beyond_the_domains_are_patched_raw() {
+        // Ids past the last aggregation domain (out-of-cluster trace ids) sit
+        // in the unexpanded tail of every effective set; a delta there must
+        // splice raw bits and reuse every segment.
+        let orch = orchestrator();
+        let req = request(360);
+        let faults = FaultSet::from_nodes([NodeId(3), NodeId(550)]);
+        let scratch = orch.search_scratch(&req, &faults);
+        let mut moved = faults.clone();
+        moved.remove(NodeId(550));
+        moved.add(NodeId(600));
+        let (patched, stats) = orch.patch_scratch(&req, &scratch, &moved);
+        assert_eq!(stats.domains_patched, 0);
+        assert_eq!(stats.segments_reorchestrated, 0);
+        assert_matches_cold_rebuild(&orch, &req, &patched, &moved);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The incremental-publish pin: chained patches over random delta
+        /// sequences stay bit-identical to cold rebuilds — scratch fields,
+        /// search answers and probe counts alike, for 1 and 4 threads.
+        #[test]
+        fn chained_patches_match_cold_rebuilds_over_random_deltas(
+            initial in proptest::collection::vec(0usize..600, 0..40),
+            deltas in proptest::collection::vec(
+                proptest::collection::vec((0usize..600, 0usize..2), 1..12),
+                1..5,
+            ),
+        ) {
+            let orch = orchestrator();
+            let req = request(360);
+            let mut live = FaultSet::from_nodes(initial.into_iter().map(NodeId));
+            let mut scratch = orch.search_scratch(&req, &live);
+            for delta in deltas {
+                for (id, flag) in delta {
+                    if flag == 1 {
+                        live.add(NodeId(id));
+                    } else {
+                        live.remove(NodeId(id));
+                    }
+                }
+                let (patched, stats) = orch.patch_scratch(&req, &scratch, &live);
+                prop_assert_eq!(
+                    stats.segments_reused + stats.segments_reorchestrated,
+                    scratch.segments.len()
+                );
+                let cold = assert_matches_cold_rebuild(&orch, &req, &patched, &live);
+                for threads in [1usize, 4] {
+                    let (fast, fast_probes) =
+                        orch.orchestrate_with_scratch(&req, &patched, threads);
+                    let (slow, slow_probes) =
+                        orch.orchestrate_with_scratch(&req, &cold, threads);
+                    prop_assert_eq!(fast, slow, "threads {}", threads);
+                    prop_assert_eq!(fast_probes, slow_probes, "threads {}", threads);
+                }
+                scratch = patched;
+            }
         }
     }
 

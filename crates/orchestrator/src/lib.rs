@@ -35,12 +35,12 @@ pub mod traffic;
 
 pub use dcn_free::orchestrate_dcn_free;
 pub use deployment::DeploymentStrategy;
-pub use fat_tree::{FatTreeOrchestrator, OrchestrationRequest};
+pub use fat_tree::{FatTreeOrchestrator, OrchestrationRequest, ScratchPatchStats};
 pub use greedy::greedy_placement;
 pub use scheme::{PlacementScheme, TpGroup};
 pub use search::{max_orchestratable_job, MaxJobReport};
 pub use service::{
-    BatchReport, BatchStats, ClusterSnapshot, PlacementAnswer, PlacementQuery, PlacementService,
-    QueryCost, QueryKind, SnapshotStore,
+    BatchReport, BatchStats, ClusterSnapshot, PatchTally, PlacementAnswer, PlacementQuery,
+    PlacementService, QueryCost, QueryKind, SnapshotDelta, SnapshotStore,
 };
 pub use traffic::{cross_tor_rate, TrafficModel};

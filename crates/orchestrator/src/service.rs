@@ -30,7 +30,9 @@
 //! alone; so answers **and** cost counters are byte-identical for any thread
 //! count.
 
-use crate::fat_tree::{FatTreeOrchestrator, OrchestrationRequest, SearchScratch};
+use crate::fat_tree::{
+    FatTreeOrchestrator, OrchestrationRequest, ScratchPatchStats, SearchScratch,
+};
 use crate::scheme::PlacementScheme;
 use crate::search::{max_job_with_scratch, max_orchestratable_job};
 use hbd_types::epoch::{EpochCell, Versioned};
@@ -43,6 +45,17 @@ use topology::FaultSet;
 /// A scratch key: the pair a `SearchScratch` depends on besides the fault
 /// set. One scratch per key serves every job size.
 type ScratchKey = (usize, usize); // (k, nodes_per_group)
+
+/// One distinct shared-state question of a batch — the unit of the per-epoch
+/// answer memo. Invalid/degenerate shapes never become work items; they are
+/// answered per query without touching shared state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum WorkItem {
+    /// `(k, nodes_per_group, job_nodes)` of a valid `Place` request.
+    Place(usize, usize, usize),
+    /// `(k, nodes_per_group)` of a non-degenerate `MaxJob` query.
+    MaxJob(usize, usize),
+}
 
 /// One immutable view of the cluster: the orchestrator (topology + wiring,
 /// shared by every snapshot of a store) plus the fault/exclusion state the
@@ -108,6 +121,62 @@ impl SnapshotStore {
         let orchestrator = Arc::clone(&self.cell.load().value.orchestrator);
         self.cell
             .publish(ClusterSnapshot::new(orchestrator, faults))
+    }
+
+    /// Publishes the next epoch by applying `delta` to the **current**
+    /// snapshot's fault state — add every occupied and faulted node, remove
+    /// every released one. The edit runs under the store's write lock
+    /// ([`EpochCell::publish_with`]), so concurrent delta publishers compose
+    /// instead of racing, and its cost is proportional to the delta (one
+    /// word-wise clone plus per-released-node flips), never to a state
+    /// rebuilt outside the store. An empty delta publishes nothing and
+    /// returns the current epoch unchanged.
+    pub fn publish_delta(&self, delta: &SnapshotDelta) -> u64 {
+        if delta.is_empty() {
+            return self.cell.epoch();
+        }
+        self.cell.publish_with(|current| {
+            let mut faults = current.value.faults.clone();
+            faults.union_with(&delta.occupied);
+            faults.union_with(&delta.faulted);
+            for node in delta.released.iter() {
+                faults.remove(node);
+            }
+            ClusterSnapshot::new(Arc::clone(&current.value.orchestrator), faults)
+        })
+    }
+}
+
+/// A publish-sized edit to the snapshot fault/exclusion state: which nodes
+/// left service (occupied by a new placement, or faulted) and which returned.
+/// [`SnapshotStore::publish_delta`] applies it on top of the current
+/// snapshot. Exclusion ledgers (`dcn::jobmix::ExclusionLedger`) emit these
+/// natively by recording net flips between publishes, so a publish never has
+/// to clone or rebuild the full exclusion union outside the store.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SnapshotDelta {
+    /// Nodes newly excluded because a placement occupies them.
+    pub occupied: FaultSet,
+    /// Nodes newly excluded because they faulted.
+    pub faulted: FaultSet,
+    /// Nodes returned to service (released by a departure, or repaired).
+    pub released: FaultSet,
+}
+
+impl SnapshotDelta {
+    /// An all-empty delta; publishing it is a no-op.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of node flips the delta carries.
+    pub fn len(&self) -> usize {
+        self.occupied.len() + self.faulted.len() + self.released.len()
+    }
+
+    /// Whether the delta excludes and releases nothing.
+    pub fn is_empty(&self) -> bool {
+        self.occupied.is_empty() && self.faulted.is_empty() && self.released.is_empty()
     }
 }
 
@@ -214,12 +283,41 @@ pub struct BatchReport {
     pub stats: BatchStats,
 }
 
-/// The memoized shared scratches of one epoch. Invalidated wholesale when a
-/// newer epoch is observed.
+/// Cumulative incremental-publish accounting of one [`PlacementService`]:
+/// how its shared scratches were materialized across epochs, and what the
+/// patched ones re-orchestrated versus carried over.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PatchTally {
+    /// Shared-scratch materializations that patched the previous epoch's
+    /// scratch of the same key (`FatTreeOrchestrator::patch_scratch`).
+    pub patched_builds: usize,
+    /// Shared-scratch materializations built cold — no surviving previous-
+    /// epoch scratch for the key. (Private builds for stale-snapshot batches
+    /// bypass the cache and are not tallied.)
+    pub cold_builds: usize,
+    /// Segment/domain counts summed over every patched build.
+    pub stats: ScratchPatchStats,
+}
+
+/// The memoized per-epoch state of a service. When a newer epoch is
+/// observed, the scratches are **not** discarded: they move to `stale` and
+/// become the patch bases of the new epoch's scratches, so materializing a
+/// key costs the fault-set *delta* between the epochs instead of a cluster-
+/// sized rebuild. The answer memo (one entry per distinct `Place` / `MaxJob`
+/// shape) is dropped on every epoch advance — answers are deterministic
+/// functions of `(shape, epoch state)`, so within one epoch a repeated shape
+/// replays its `(answer, probes)` pair bit-for-bit instead of re-searching.
 #[derive(Debug, Default)]
 struct ScratchCache {
     epoch: u64,
     scratches: BTreeMap<ScratchKey, Arc<SearchScratch>>,
+    /// Patch bases: the newest scratch of each key from earlier epochs.
+    stale: BTreeMap<ScratchKey, Arc<SearchScratch>>,
+    /// `(k, nodes_per_group, job_nodes)` → this epoch's `(answer, probes)`.
+    place_memo: BTreeMap<(usize, usize, usize), (Result<PlacementScheme>, usize)>,
+    /// `(k, nodes_per_group)` → this epoch's `(job_nodes, probes)`.
+    max_job_memo: BTreeMap<ScratchKey, (usize, usize)>,
+    tally: PatchTally,
 }
 
 /// Answers placement queries against the current [`SnapshotStore`] snapshot,
@@ -244,13 +342,27 @@ impl PlacementService {
         &self.store
     }
 
-    /// Resolves (building where missing) the shared scratches for `keys`
-    /// against `snapshot`, returning the key → scratch map and how many
-    /// scratches were built. Missing keys are built under the cache lock,
-    /// fanned over `threads`; if the cache has already moved to a *newer*
-    /// epoch (a concurrent batch on a fresher snapshot claimed it), the
-    /// scratches are built privately instead so the newer epoch's cache is
-    /// never poisoned with stale state.
+    /// The cumulative incremental-publish accounting: how this service's
+    /// shared scratches were materialized (patched forward vs built cold)
+    /// and what the patches re-orchestrated versus carried over.
+    pub fn patch_tally(&self) -> PatchTally {
+        self.cache
+            .lock()
+            .expect("no scratch builder panicked")
+            .tally
+    }
+
+    /// Resolves (materializing where missing) the shared scratches for
+    /// `keys` against `snapshot`, returning the key → scratch map and how
+    /// many scratches were materialized. A missing key whose previous
+    /// epoch's scratch survives in the cache is *patched* forward
+    /// (delta-proportional); otherwise it is built cold. Both count as
+    /// builds — the build counter means "materializations for this epoch",
+    /// however cheap. Missing keys are resolved under the cache lock, fanned
+    /// over `threads`; if the cache has already moved to a *newer* epoch (a
+    /// concurrent batch on a fresher snapshot claimed it), the scratches are
+    /// built privately instead so the newer epoch's cache is never poisoned
+    /// with stale state.
     fn shared_scratches(
         &self,
         snapshot: &Versioned<ClusterSnapshot>,
@@ -260,42 +372,66 @@ impl PlacementService {
         if keys.is_empty() {
             return (BTreeMap::new(), 0);
         }
-        let build = |wanted: &[ScratchKey]| -> Vec<Arc<SearchScratch>> {
-            par_map(threads, wanted, |_, &(k, nodes_per_group)| {
-                let template = OrchestrationRequest {
-                    job_nodes: nodes_per_group,
-                    nodes_per_group,
-                    k,
-                };
-                Arc::new(
-                    snapshot
-                        .value
-                        .orchestrator()
-                        .search_scratch(&template, snapshot.value.faults()),
-                )
-            })
+        let template = |(k, nodes_per_group): ScratchKey| OrchestrationRequest {
+            job_nodes: nodes_per_group,
+            nodes_per_group,
+            k,
         };
 
         let mut cache = self.cache.lock().expect("no scratch builder panicked");
         if cache.epoch < snapshot.epoch {
-            cache.scratches.clear();
+            // Epoch advance: the outgoing scratches become patch bases, the
+            // per-epoch answer memo dies with its epoch.
+            let outgoing = std::mem::take(&mut cache.scratches);
+            cache.stale.extend(outgoing);
+            cache.place_memo.clear();
+            cache.max_job_memo.clear();
             cache.epoch = snapshot.epoch;
         }
         if cache.epoch > snapshot.epoch {
             // The cache belongs to a newer epoch: serve this (stale) batch
-            // from private builds.
+            // from private cold builds.
             drop(cache);
             let wanted: Vec<ScratchKey> = keys.iter().copied().collect();
-            let built = build(&wanted);
+            let built = par_map(threads, &wanted, |_, &key| {
+                Arc::new(
+                    snapshot
+                        .value
+                        .orchestrator()
+                        .search_scratch(&template(key), snapshot.value.faults()),
+                )
+            });
             return (wanted.into_iter().zip(built).collect(), keys.len());
         }
-        let missing: Vec<ScratchKey> = keys
+        let missing: Vec<(ScratchKey, Option<Arc<SearchScratch>>)> = keys
             .iter()
             .copied()
             .filter(|key| !cache.scratches.contains_key(key))
+            .map(|key| (key, cache.stale.get(&key).cloned()))
             .collect();
-        let built = build(&missing);
-        for (key, scratch) in missing.iter().zip(built) {
+        let built = par_map(threads, &missing, |_, (key, base)| {
+            let request = template(*key);
+            let orchestrator = snapshot.value.orchestrator();
+            match base {
+                Some(old) => {
+                    let (scratch, stats) =
+                        orchestrator.patch_scratch(&request, old, snapshot.value.faults());
+                    (Arc::new(scratch), Some(stats))
+                }
+                None => (
+                    Arc::new(orchestrator.search_scratch(&request, snapshot.value.faults())),
+                    None,
+                ),
+            }
+        });
+        for ((key, _), (scratch, patch)) in missing.iter().zip(built) {
+            match patch {
+                Some(stats) => {
+                    cache.tally.patched_builds += 1;
+                    cache.tally.stats.absorb(&stats);
+                }
+                None => cache.tally.cold_builds += 1,
+            }
             cache.scratches.insert(*key, scratch);
         }
         let map = keys
@@ -307,28 +443,52 @@ impl PlacementService {
 
     /// Answers one placement request against the current snapshot —
     /// bit-identical to [`FatTreeOrchestrator::orchestrate_par`] with the
-    /// snapshot's fault set, but reusing the per-epoch scratch cache, so
-    /// consecutive single placements against an unchanged snapshot skip the
-    /// scratch rebuild. `threads` fans out the constraint probes of this one
-    /// search (the answer is thread-count-invariant).
+    /// snapshot's fault set, but reusing the per-epoch scratch cache *and*
+    /// the per-epoch answer memo: a request shape already answered this
+    /// epoch replays its answer without searching at all (the answer is a
+    /// deterministic function of `(shape, epoch state)`, so the replay is
+    /// exact). A memo miss evaluates its probes lazily (inner search
+    /// threading of 1) so the memoized probe count stays canonical for every
+    /// caller; `threads` is accepted for signature stability and does not
+    /// change the answer.
     pub fn place(&self, request: &OrchestrationRequest, threads: usize) -> Result<PlacementScheme> {
+        let _ = threads;
         request.validate()?;
         let snapshot = self.store.load();
+        let memo_key = (request.k, request.nodes_per_group, request.job_nodes);
+        {
+            let cache = self.cache.lock().expect("no scratch builder panicked");
+            if cache.epoch == snapshot.epoch {
+                if let Some((outcome, _)) = cache.place_memo.get(&memo_key) {
+                    return outcome.clone();
+                }
+            }
+        }
         let keys = BTreeSet::from([(request.k, request.nodes_per_group)]);
         let (scratches, _) = self.shared_scratches(&snapshot, &keys, 1);
         let scratch = &scratches[&(request.k, request.nodes_per_group)];
-        snapshot
+        let (outcome, probes) = snapshot
             .value
             .orchestrator()
-            .orchestrate_with_scratch(request, scratch, threads)
-            .0
+            .orchestrate_with_scratch(request, scratch, 1);
+        let mut cache = self.cache.lock().expect("no scratch builder panicked");
+        if cache.epoch == snapshot.epoch {
+            cache.place_memo.insert(memo_key, (outcome.clone(), probes));
+        }
+        drop(cache);
+        outcome
     }
 
     /// Answers a batch of queries against **one** pinned snapshot, fanning
     /// the per-query work over up to `threads` scoped threads. Shared-state
     /// queries (`Place`, `MaxJob`) amortise one memoized scratch per
-    /// `(k, nodes_per_group)` key; what-if overlays build a private scratch
-    /// against their merged fault set. Answers, order and cost counters are
+    /// `(k, nodes_per_group)` key, and each *distinct shape* is searched at
+    /// most once per epoch: repeats — within the batch or across batches of
+    /// one epoch — replay the memoized `(answer, probes)` pair, which is
+    /// exact because both are deterministic functions of the shape and the
+    /// epoch's scratch. What-if overlays build a private scratch against
+    /// their merged fault set (patched from the batch's shared scratch of
+    /// the same key when present). Answers, order and cost counters are
     /// byte-identical for any thread count.
     pub fn answer_batch(&self, queries: &[PlacementQuery], threads: usize) -> BatchReport {
         let snapshot = self.store.load();
@@ -354,8 +514,101 @@ impl PlacementService {
         }
         let (scratches, shared_scratch_builds) = self.shared_scratches(&snapshot, &keys, threads);
 
+        // The distinct shared-state shapes of this batch, resolved once each:
+        // from the epoch's memo where already answered, computed (and
+        // memoized) otherwise.
+        let mut items: BTreeSet<WorkItem> = BTreeSet::new();
+        for query in queries {
+            match query {
+                PlacementQuery::Place(request) if request.validate().is_ok() => {
+                    items.insert(WorkItem::Place(
+                        request.k,
+                        request.nodes_per_group,
+                        request.job_nodes,
+                    ));
+                }
+                PlacementQuery::MaxJob { nodes_per_group, k } if *nodes_per_group > 0 && *k > 0 => {
+                    items.insert(WorkItem::MaxJob(*k, *nodes_per_group));
+                }
+                _ => {}
+            }
+        }
+        let mut resolved: BTreeMap<WorkItem, (PlacementAnswer, usize)> = BTreeMap::new();
+        let mut misses: Vec<WorkItem> = Vec::new();
+        {
+            let cache = self.cache.lock().expect("no scratch builder panicked");
+            // A batch on a stale snapshot must not read the (newer) memo.
+            let live = cache.epoch == snapshot.epoch;
+            for &item in &items {
+                let hit = match item {
+                    WorkItem::Place(k, m, j) if live => {
+                        cache.place_memo.get(&(k, m, j)).map(|(outcome, probes)| {
+                            (PlacementAnswer::Placement(outcome.clone()), *probes)
+                        })
+                    }
+                    WorkItem::MaxJob(k, m) if live => {
+                        cache.max_job_memo.get(&(k, m)).map(|&(job_nodes, probes)| {
+                            (PlacementAnswer::MaxJob { job_nodes }, probes)
+                        })
+                    }
+                    _ => None,
+                };
+                match hit {
+                    Some(value) => {
+                        resolved.insert(item, value);
+                    }
+                    None => misses.push(item),
+                }
+            }
+        }
+        let computed = par_map(threads, &misses, |_, &item| {
+            let orchestrator = snapshot.value.orchestrator();
+            match item {
+                WorkItem::Place(k, nodes_per_group, job_nodes) => {
+                    let request = OrchestrationRequest {
+                        job_nodes,
+                        nodes_per_group,
+                        k,
+                    };
+                    let scratch = &scratches[&(k, nodes_per_group)];
+                    let (outcome, probes) =
+                        orchestrator.orchestrate_with_scratch(&request, scratch, 1);
+                    (PlacementAnswer::Placement(outcome), probes)
+                }
+                WorkItem::MaxJob(k, nodes_per_group) => {
+                    let scratch = &scratches[&(k, nodes_per_group)];
+                    let report = max_job_with_scratch(orchestrator, nodes_per_group, k, scratch);
+                    (
+                        PlacementAnswer::MaxJob {
+                            job_nodes: report.job_nodes,
+                        },
+                        report.probes,
+                    )
+                }
+            }
+        });
+        if !misses.is_empty() {
+            let mut cache = self.cache.lock().expect("no scratch builder panicked");
+            if cache.epoch == snapshot.epoch {
+                for (item, (answer, probes)) in misses.iter().zip(&computed) {
+                    match (item, answer) {
+                        (WorkItem::Place(k, m, j), PlacementAnswer::Placement(outcome)) => {
+                            cache
+                                .place_memo
+                                .insert((*k, *m, *j), (outcome.clone(), *probes));
+                        }
+                        (WorkItem::MaxJob(k, m), PlacementAnswer::MaxJob { job_nodes }) => {
+                            cache.max_job_memo.insert((*k, *m), (*job_nodes, *probes));
+                        }
+                        _ => unreachable!("work items answer in kind"),
+                    }
+                }
+            }
+        }
+        resolved.extend(misses.into_iter().zip(computed));
+
         let outcomes = par_map(threads, queries, |_, query| {
-            self.answer_one(query, &snapshot, &scratches)
+            self.answer_one(query, &snapshot, &scratches, &resolved)
         });
 
         let mut answers = Vec::with_capacity(outcomes.len());
@@ -403,14 +656,19 @@ impl PlacementService {
         }
     }
 
-    /// Answers one query of a batch. Runs sequentially (inner `threads == 1`)
-    /// so per-query probe counts are exact and thread-count-invariant; the
-    /// batch-level fan-out is the parallelism.
+    /// Answers one query of a batch. Shared-state queries replay the batch's
+    /// `resolved` map (each distinct shape was answered exactly once, with
+    /// inner search threading of 1, so probe counts are exact and thread-
+    /// count-invariant); what-if overlays search privately, patching their
+    /// scratch from the batch's shared scratch of the same key when one
+    /// exists (bit-exact per the patch-vs-rebuild property suite, so the
+    /// cheaper materialization never changes an answer or a probe count).
     fn answer_one(
         &self,
         query: &PlacementQuery,
         snapshot: &Versioned<ClusterSnapshot>,
         scratches: &BTreeMap<ScratchKey, Arc<SearchScratch>>,
+        resolved: &BTreeMap<WorkItem, (PlacementAnswer, usize)>,
     ) -> (PlacementAnswer, QueryCost) {
         let orchestrator = snapshot.value.orchestrator();
         let faults = snapshot.value.faults();
@@ -426,10 +684,10 @@ impl PlacementService {
                         },
                     );
                 }
-                let scratch = &scratches[&(request.k, request.nodes_per_group)];
-                let (outcome, probes) = orchestrator.orchestrate_with_scratch(request, scratch, 1);
+                let item = WorkItem::Place(request.k, request.nodes_per_group, request.job_nodes);
+                let (answer, probes) = resolved[&item].clone();
                 (
-                    PlacementAnswer::Placement(outcome),
+                    answer,
                     QueryCost {
                         kind: QueryKind::Place,
                         probes,
@@ -438,14 +696,21 @@ impl PlacementService {
                 )
             }
             PlacementQuery::MaxJob { nodes_per_group, k } => {
-                let report = match scratches.get(&(*k, *nodes_per_group)) {
-                    Some(scratch) => {
-                        max_job_with_scratch(orchestrator, *nodes_per_group, *k, scratch)
-                    }
-                    // Degenerate geometry: the oracle path rejects every
-                    // probe itself.
-                    None => max_orchestratable_job(orchestrator, *nodes_per_group, *k, faults, 1),
-                };
+                if *nodes_per_group > 0 && *k > 0 {
+                    let (answer, probes) =
+                        resolved[&WorkItem::MaxJob(*k, *nodes_per_group)].clone();
+                    return (
+                        answer,
+                        QueryCost {
+                            kind: QueryKind::MaxJob,
+                            probes,
+                            private_scratch: false,
+                        },
+                    );
+                }
+                // Degenerate geometry: the oracle path rejects every probe
+                // itself.
+                let report = max_orchestratable_job(orchestrator, *nodes_per_group, *k, faults, 1);
                 (
                     PlacementAnswer::MaxJob {
                         job_nodes: report.job_nodes,
@@ -472,7 +737,10 @@ impl PlacementService {
                     );
                 }
                 let merged = faults.union(extra_faults);
-                let scratch = orchestrator.search_scratch(request, &merged);
+                let scratch = match scratches.get(&(request.k, request.nodes_per_group)) {
+                    Some(base) => orchestrator.patch_scratch(request, base, &merged).0,
+                    None => orchestrator.search_scratch(request, &merged),
+                };
                 let (outcome, probes) = orchestrator.orchestrate_with_scratch(request, &scratch, 1);
                 (
                     PlacementAnswer::Placement(outcome),

@@ -1,0 +1,145 @@
+//! Incremental-publish integration properties: a service whose scratches are
+//! patched forward across delta-published epochs, pinned bit-for-bit against
+//! a cold-rebuilt reference service — answers *and* `QueryCost` /
+//! `BatchStats` counters — over random delta sequences and thread counts
+//! (the standing oracle-vs-fast-solver practice, one level up from the
+//! per-scratch patch properties in `fat_tree`).
+
+use hbd_types::NodeId;
+use orchestrator::{
+    FatTreeOrchestrator, OrchestrationRequest, PlacementQuery, PlacementService, SnapshotDelta,
+    SnapshotStore,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+use topology::{FatTree, FaultSet};
+
+const NODES: usize = 256;
+const THREADS: [usize; 3] = [1, 4, 16];
+
+fn orchestrator() -> Arc<FatTreeOrchestrator> {
+    Arc::new(FatTreeOrchestrator::new(FatTree::new(NODES, 8, 4).unwrap()).unwrap())
+}
+
+/// One delta as raw flips: `(node, kind)` with kind 0 = occupied,
+/// 1 = faulted, 2 = released.
+fn arbitrary_delta() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0..NODES, 0usize..3), 1..10)
+}
+
+/// One query as raw numbers: `(kind, job_nodes, extra_node)` with kind
+/// 0 = `Place`, 1 = `MaxJob`, 2 = `WhatIf`.
+fn arbitrary_queries() -> impl Strategy<Value = Vec<(usize, usize, usize)>> {
+    proptest::collection::vec((0usize..3, 1usize..200, 0..NODES), 2..6)
+}
+
+fn build_delta(flips: &[(usize, usize)]) -> SnapshotDelta {
+    let mut delta = SnapshotDelta::new();
+    for &(node, kind) in flips {
+        match kind {
+            0 => delta.occupied.add(NodeId(node)),
+            1 => delta.faulted.add(NodeId(node)),
+            _ => delta.released.add(NodeId(node)),
+        };
+    }
+    delta
+}
+
+/// The naive oracle for what a delta publish must leave in the snapshot:
+/// union in the exclusions, then remove the releases.
+fn apply_delta(live: &mut FaultSet, delta: &SnapshotDelta) {
+    live.union_with(&delta.occupied);
+    live.union_with(&delta.faulted);
+    for node in delta.released.iter() {
+        live.remove(node);
+    }
+}
+
+fn build_queries(raw: &[(usize, usize, usize)]) -> Vec<PlacementQuery> {
+    raw.iter()
+        .map(|&(kind, job_nodes, extra)| {
+            let request = OrchestrationRequest {
+                job_nodes,
+                nodes_per_group: 8,
+                k: 2,
+            };
+            match kind {
+                0 => PlacementQuery::Place(request),
+                1 => PlacementQuery::MaxJob {
+                    nodes_per_group: 8,
+                    k: 2,
+                },
+                _ => PlacementQuery::WhatIf {
+                    request,
+                    extra_faults: FaultSet::from_nodes([NodeId(extra)]),
+                },
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Across a random chain of delta publishes, every batch answered by the
+    /// long-lived (patching) services matches a reference service built cold
+    /// on the epoch's fault state — same answers, same per-query costs, same
+    /// batch stats — at 1, 4 and 16 threads, with all thread counts agreeing.
+    #[test]
+    fn patched_epochs_match_cold_rebuilt_services(
+        initial in proptest::collection::vec(0..NODES, 0..16),
+        deltas in proptest::collection::vec(arbitrary_delta(), 1..4),
+        raw_queries in proptest::collection::vec(arbitrary_queries(), 1..4),
+    ) {
+        let orch = orchestrator();
+        let mut live = FaultSet::from_nodes(initial.iter().map(|&n| NodeId(n)));
+        // One shared store, one long-lived service per thread count: each
+        // service patches its scratches forward on every epoch advance.
+        let store = Arc::new(SnapshotStore::new(Arc::clone(&orch), live.clone()));
+        let incremental: Vec<PlacementService> = THREADS
+            .iter()
+            .map(|_| PlacementService::new(Arc::clone(&store)))
+            .collect();
+        for (epoch_index, flips) in deltas.iter().enumerate() {
+            let delta = build_delta(flips);
+            prop_assert!(!delta.is_empty());
+            let published = store.publish_delta(&delta);
+            prop_assert_eq!(published, epoch_index as u64 + 1);
+            apply_delta(&mut live, &delta);
+            let snapshot = store.load();
+            prop_assert_eq!(snapshot.value.faults(), &live);
+
+            // A cold reference world on the same fault state, fresh per
+            // epoch and per thread count so its builds start from nothing.
+            let reference: Vec<PlacementService> = THREADS
+                .iter()
+                .map(|_| {
+                    PlacementService::new(Arc::new(SnapshotStore::new(
+                        Arc::clone(&orch),
+                        live.clone(),
+                    )))
+                })
+                .collect();
+            for raw in &raw_queries {
+                let queries = build_queries(raw);
+                let mut first_report = None;
+                for (slot, &threads) in THREADS.iter().enumerate() {
+                    let inc = incremental[slot].answer_batch(&queries, threads);
+                    let cold = reference[slot].answer_batch(&queries, threads);
+                    // Bit-for-bit: answers, per-query costs, batch counters.
+                    prop_assert_eq!(&inc.answers, &cold.answers);
+                    prop_assert_eq!(&inc.costs, &cold.costs);
+                    prop_assert_eq!(inc.stats, cold.stats);
+                    match &first_report {
+                        None => first_report = Some(inc),
+                        Some(first) => {
+                            prop_assert_eq!(&first.answers, &inc.answers);
+                            prop_assert_eq!(&first.costs, &inc.costs);
+                            prop_assert_eq!(first.stats, inc.stats);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -192,6 +192,122 @@ impl FaultSet {
         merged
     }
 
+    /// The stored word at index `i`, with words past the allocated capacity
+    /// reading as all-healthy. The range operations below use this so two
+    /// sets with different capacities agree on every range.
+    fn word_at(&self, i: usize) -> u64 {
+        self.words.get(i).copied().unwrap_or(0)
+    }
+
+    /// Whether `self` and `other` agree on every node id in `lo..hi` — a
+    /// masked word-wise comparison following the `count_in_range` idiom,
+    /// O(words touched). This is the segment-fingerprint check of the
+    /// incremental publish path: a placement segment whose fault words are
+    /// unchanged across epochs needs no re-orchestration.
+    pub fn range_eq(&self, other: &FaultSet, lo: usize, hi: usize) -> bool {
+        if lo >= hi {
+            return true;
+        }
+        let hi = hi.min(self.words.len().max(other.words.len()) * WORD_BITS);
+        if lo >= hi {
+            return true;
+        }
+        let (lo_word, lo_bit) = (lo / WORD_BITS, lo % WORD_BITS);
+        let hi_word = (hi - 1) / WORD_BITS;
+        for w in lo_word..=hi_word {
+            let mut mask = !0u64;
+            if w == lo_word {
+                mask &= !0u64 << lo_bit;
+            }
+            if w == hi_word {
+                let hi_bit = hi - hi_word * WORD_BITS;
+                if hi_bit < WORD_BITS {
+                    mask &= !0u64 >> (WORD_BITS - hi_bit);
+                }
+            }
+            if (self.word_at(w) ^ other.word_at(w)) & mask != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Overwrites the node ids in `lo..hi` of `self` with the corresponding
+    /// bits of `src`, leaving every id outside the range untouched — the
+    /// word-splice primitive the incremental publish path uses to patch one
+    /// aggregation domain of an effective fault set without rebuilding the
+    /// rest. `len` is adjusted by the masked popcount delta, O(words
+    /// touched).
+    pub fn splice_range(&mut self, src: &FaultSet, lo: usize, hi: usize) {
+        if lo >= hi {
+            return;
+        }
+        let hi = hi.min(self.words.len().max(src.words.len()) * WORD_BITS);
+        if lo >= hi {
+            return;
+        }
+        let (lo_word, lo_bit) = (lo / WORD_BITS, lo % WORD_BITS);
+        let hi_word = (hi - 1) / WORD_BITS;
+        if hi_word >= self.words.len() {
+            self.words.resize(hi_word + 1, 0);
+        }
+        for w in lo_word..=hi_word {
+            let mut mask = !0u64;
+            if w == lo_word {
+                mask &= !0u64 << lo_bit;
+            }
+            if w == hi_word {
+                let hi_bit = hi - hi_word * WORD_BITS;
+                if hi_bit < WORD_BITS {
+                    mask &= !0u64 >> (WORD_BITS - hi_bit);
+                }
+            }
+            let incoming = src.word_at(w) & mask;
+            let slot = &mut self.words[w];
+            let outgoing = *slot & mask;
+            self.len = self.len - outgoing.count_ones() as usize + incoming.count_ones() as usize;
+            *slot = (*slot & !mask) | incoming;
+        }
+    }
+
+    /// Iterates over the faulty nodes with ids in `lo..hi` in ascending
+    /// order, touching only the words covering the range.
+    pub fn iter_range(&self, lo: usize, hi: usize) -> impl Iterator<Item = NodeId> + '_ {
+        let hi = hi.min(self.words.len() * WORD_BITS);
+        let lo = lo.min(hi);
+        let lo_word = lo / WORD_BITS;
+        let hi_word = hi.div_ceil(WORD_BITS);
+        self.words[lo_word..hi_word]
+            .iter()
+            .enumerate()
+            .flat_map(move |(off, &word)| {
+                let i = lo_word + off;
+                let mut w = word;
+                if i == lo_word {
+                    w &= !0u64 << (lo % WORD_BITS);
+                }
+                let base = i * WORD_BITS;
+                if base + WORD_BITS > hi {
+                    let hi_bit = hi - base;
+                    if hi_bit < WORD_BITS {
+                        w &= !0u64 >> (WORD_BITS - hi_bit);
+                    }
+                }
+                std::iter::successors((w != 0).then_some(w), |v| {
+                    let rest = v & (v - 1);
+                    (rest != 0).then_some(rest)
+                })
+                .map(move |v| NodeId(i * WORD_BITS + v.trailing_zeros() as usize))
+            })
+    }
+
+    /// Capacity of the stored words in node ids. Ranges at or beyond this
+    /// bound are all-healthy in `self`; the incremental publish path uses it
+    /// to size the tail region it must compare and splice.
+    pub fn capacity(&self) -> usize {
+        self.words.len() * WORD_BITS
+    }
+
     /// Adds every faulty node of `other` to `self` — a word-wise OR,
     /// O(words).
     pub fn union_with(&mut self, other: &FaultSet) {
@@ -457,6 +573,80 @@ mod tests {
         // Ranges past the stored words are all healthy.
         assert_eq!(faults.count_in_range(500, 1000), 0);
         assert_eq!(faults.count_in_range(10, 5), 0);
+    }
+
+    #[test]
+    fn range_eq_compares_masked_words() {
+        let a = FaultSet::from_nodes([0, 5, 63, 64, 100, 130].map(NodeId));
+        let mut b = a.clone();
+        assert!(a.range_eq(&b, 0, 200));
+        b.remove(NodeId(100));
+        assert!(a.range_eq(&b, 0, 100));
+        assert!(a.range_eq(&b, 101, 200));
+        assert!(!a.range_eq(&b, 100, 101));
+        assert!(!a.range_eq(&b, 0, 200));
+        // Degenerate and out-of-capacity ranges always agree.
+        assert!(a.range_eq(&b, 64, 64));
+        assert!(a.range_eq(&b, 10, 5));
+        assert!(a.range_eq(&b, 500, 10_000));
+        // Capacity differences are invisible: a freshly-allocated empty set
+        // agrees with a trimmed one everywhere it has no bits.
+        let wide = FaultSet::from_nodes_clamped(4096, [NodeId(70)]);
+        let narrow = FaultSet::from_nodes([NodeId(70)]);
+        assert!(wide.range_eq(&narrow, 0, 4096));
+        assert!(narrow.range_eq(&wide, 0, 4096));
+    }
+
+    #[test]
+    fn splice_range_overwrites_only_the_range() {
+        let src = FaultSet::from_nodes([0, 5, 63, 64, 100, 130].map(NodeId));
+        let mut dst = FaultSet::from_nodes([2, 63, 70, 200].map(NodeId));
+        dst.splice_range(&src, 63, 101);
+        // Inside [63, 101): src's bits {63, 64, 100}. Outside: dst's {2, 200}.
+        let expect = FaultSet::from_nodes([2, 63, 64, 100, 200].map(NodeId));
+        assert_eq!(dst, expect);
+        assert_eq!(dst.len(), 5);
+        // Splicing a range past both capacities is a no-op.
+        let before = dst.clone();
+        dst.splice_range(&src, 5000, 6000);
+        assert_eq!(dst, before);
+        // Splicing in a longer source grows the destination.
+        let tall = FaultSet::from_nodes([NodeId(900)]);
+        dst.splice_range(&tall, 256, 1024);
+        assert!(dst.is_faulty(NodeId(900)));
+        assert_eq!(dst.len(), 6);
+        // Sub-word splice keeps neighbours on both sides of the same word.
+        let mut w = FaultSet::from_nodes([16, 20, 24].map(NodeId));
+        w.splice_range(&FaultSet::from_nodes([NodeId(21)]), 18, 23);
+        assert_eq!(w, FaultSet::from_nodes([16, 21, 24].map(NodeId)));
+    }
+
+    #[test]
+    fn splice_full_range_reproduces_the_source() {
+        let src = FaultSet::from_nodes([0, 5, 63, 64, 100, 130].map(NodeId));
+        let mut dst = FaultSet::from_nodes([2, 63, 70, 200].map(NodeId));
+        let hi = src.capacity().max(dst.capacity());
+        dst.splice_range(&src, 0, hi);
+        assert_eq!(dst, src);
+        assert_eq!(dst.len(), src.len());
+    }
+
+    #[test]
+    fn iter_range_is_the_masked_iterator() {
+        let faults = FaultSet::from_nodes([0, 5, 63, 64, 100, 130].map(NodeId));
+        let ids = |lo, hi| {
+            faults
+                .iter_range(lo, hi)
+                .map(|n| n.index())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(ids(0, 200), vec![0, 5, 63, 64, 100, 130]);
+        assert_eq!(ids(5, 64), vec![5, 63]);
+        assert_eq!(ids(64, 64), Vec::<usize>::new());
+        assert_eq!(ids(64, 65), vec![64]);
+        assert_eq!(ids(101, 130), Vec::<usize>::new());
+        assert_eq!(ids(500, 1000), Vec::<usize>::new());
+        assert_eq!(ids(10, 5), Vec::<usize>::new());
     }
 
     #[test]

@@ -87,6 +87,16 @@ echo "==> placement-service throughput smoke gate"
 cargo run --release --bin experiments -- \
   --only ext_service_throughput --scale 0.05 --threads 2 > /dev/null
 
+echo "==> incremental-publish smoke gate"
+# Drives the delta-published epoch chain of the incremental-publish
+# experiment at smoke scale across a multi-threaded fan-out; the patched
+# scratches it exercises are pinned bit-for-bit to cold rebuilds by
+# crates/orchestrator/tests/service_delta.rs and the fat_tree patch
+# properties, and seed/thread bit-stability of the run itself is asserted by
+# tests/integration_determinism.rs.
+cargo run --release --bin experiments -- \
+  --only ext_incremental_publish --scale 0.05 --threads 2 > /dev/null
+
 echo "==> control-plane sim seed replay gate"
 # Replays the two regression seeds pinned in crates/control/src/sim.rs
 # through the public CLI: the driver exits non-zero if the run misses
