@@ -538,7 +538,8 @@ fn render_markdown(ctx: &RunCtx, runs: &[ExperimentRun]) -> String {
          column-name → cell object per row) —\n\
          and `microbenches`: the criterion micro-bench baselines collected by\n\
          `cargo bench` with `CRITERION_JSON` set and folded in via `--bench-json`, one\n\
-         record per benchmark with `bench` (label), `mean_ns`, `min_ns`, `samples` and —\n\
+         record per benchmark with `bench` (label), `mean_ns`, `min_ns`, `p50_ns`,\n\
+         `p99_ns`, `samples` and —\n\
          for groups that declare a throughput — `throughput_per_sec` / `throughput_unit`\n\
          (empty when the driver runs without `--bench-json`). `--compare <old json>`\n\
          additionally prints per-experiment wall-clock deltas against an older\n\

@@ -1,0 +1,3 @@
+fn main() {
+    bench::run_cli("ext_overload_shedding");
+}

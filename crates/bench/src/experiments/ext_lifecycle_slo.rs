@@ -76,6 +76,7 @@ pub fn base_config(ctx: &RunCtx, horizon: Seconds) -> LifecycleConfig {
         threads: ctx.threads,
         frag_probe_group: 8,
         frag_probe_k: 2,
+        retry_backoff: None,
     }
 }
 

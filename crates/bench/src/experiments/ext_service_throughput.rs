@@ -12,8 +12,10 @@
 //! Latency is a **deterministic model**, never wall-clock: the per-query
 //! [`QueryCost`](crate::service::QueryCost) counters and batch-level
 //! scratch build/reuse counters are
-//! priced with fixed per-probe / per-search / per-build terms scaled by
-//! cluster size, and an open-loop single-server queue simulation turns the
+//! priced by the shared [`ModeledLatency`] model (fixed per-probe /
+//! per-search / per-build terms scaled by cluster size, dealt round-robin
+//! onto a fixed-width modeled lane pool — the same pricing the admission
+//! controller uses), and an open-loop single-server queue simulation turns the
 //! modeled service times into sojourn times. Every cell is bit-stable in the
 //! seed and invariant in `--threads` (the batch answers themselves are pinned
 //! thread-invariant by the `service_oracle` suite).
@@ -25,7 +27,7 @@ use infinitehbd::fault::sim_events::{generate_events, NodeEvent, NodeEventKind};
 use infinitehbd::fault::GeneratorConfig;
 use infinitehbd::hbd_types::{NodeId, Seconds};
 use infinitehbd::orchestrator::service::{
-    BatchReport, PlacementAnswer, PlacementQuery, PlacementService, QueryKind, SnapshotStore,
+    ModeledLatency, PlacementAnswer, PlacementQuery, PlacementService, SnapshotStore,
 };
 use infinitehbd::orchestrator::{FatTreeOrchestrator, OrchestrationRequest};
 use infinitehbd::topology::{FatTree, FaultSet};
@@ -46,32 +48,10 @@ const DEFAULT_BATCH_CAP: usize = 32;
 /// Snapshot epochs published (beyond epoch 0) while a stream runs.
 const CHURN_PUBLISHES: usize = 6;
 
-/// Flat modeled dispatch overhead per query, in microseconds.
-const QUERY_OVERHEAD_US: f64 = 5.0;
-
-/// Width of the **modeled** worker pool that a batch fans out over. Fixed, so
-/// the modeled numbers are independent of `--threads` (which only changes how
-/// the real computation is fanned out); batching pays because a batch of `n`
-/// queries occupies up to `n.min(MODEL_WORKERS)` modeled lanes.
-const MODEL_WORKERS: usize = 8;
-
-/// Modeled cost of one constraint-placement probe (`Place` / `WhatIf`), one
-/// max-job feasibility search, and one scratch build — all linear in cluster
-/// size, in microseconds.
-fn probe_us(nodes: usize) -> f64 {
-    0.02 * nodes as f64
-}
-fn search_us(nodes: usize) -> f64 {
-    0.10 * nodes as f64
-}
-fn build_us(nodes: usize) -> f64 {
-    0.08 * nodes as f64
-}
-
 /// Mean interarrival time of the open-loop stream, in microseconds. Scaling
 /// with cluster size keeps every row in a comparable utilisation regime, so
 /// the tail columns show queueing, not trivial overload.
-fn mean_interarrival_us(nodes: usize) -> f64 {
+pub fn mean_interarrival_us(nodes: usize) -> f64 {
     0.15 * nodes as f64
 }
 
@@ -80,31 +60,11 @@ fn mean_interarrival_us(nodes: usize) -> f64 {
 /// where batching starts sustaining the offered load.
 const SWEEP_OVERLOAD: f64 = 0.5;
 
-/// The modeled service time of one answered batch, in microseconds: shared
-/// scratch builds are serial (they gate the fan-out), then the per-query
-/// costs are dealt round-robin onto [`MODEL_WORKERS`] lanes and the batch
-/// completes when the longest lane does.
-fn batch_service_us(report: &BatchReport, nodes: usize) -> f64 {
-    let mut lanes = [0.0f64; MODEL_WORKERS];
-    for (i, cost) in report.costs.iter().enumerate() {
-        let per_probe = match cost.kind {
-            QueryKind::MaxJob => search_us(nodes),
-            QueryKind::Place | QueryKind::WhatIf => probe_us(nodes),
-        };
-        let private = if cost.private_scratch {
-            build_us(nodes)
-        } else {
-            0.0
-        };
-        lanes[i % MODEL_WORKERS] += QUERY_OVERHEAD_US + private + cost.probes as f64 * per_probe;
-    }
-    let slowest_lane = lanes.iter().copied().fold(0.0f64, f64::max);
-    report.stats.shared_scratch_builds as f64 * build_us(nodes) + slowest_lane
-}
-
 /// One random query of the mix: ~70 % placements, ~10 % max-job probes,
 /// ~20 % what-if overlays, over two TP-group geometries and three job sizes.
-fn random_query(rng: &mut StdRng, nodes: usize) -> PlacementQuery {
+/// Shared with the overload/storm robustness experiments so every service
+/// experiment stresses the same query mix.
+pub fn random_query(rng: &mut StdRng, nodes: usize) -> PlacementQuery {
     let nodes_per_group = [8usize, 16][rng.gen_range(0..2usize)];
     let fraction = [8usize, 4, 2][rng.gen_range(0..3usize)];
     let job_nodes = ((nodes / fraction) / nodes_per_group).max(1) * nodes_per_group;
@@ -133,7 +93,7 @@ fn random_query(rng: &mut StdRng, nodes: usize) -> PlacementQuery {
 
 /// A seeded query stream plus its open-loop arrival times (microseconds),
 /// with the given mean interarrival time.
-fn build_stream(
+pub fn build_stream(
     nodes: usize,
     count: usize,
     seed: u64,
@@ -210,6 +170,7 @@ fn run_stream(
         FaultSet::new(),
     ));
     let service = PlacementService::new(Arc::clone(&store));
+    let model = ModeledLatency::for_cluster(orchestrator.fat_tree().nodes());
     let total = queries.len();
     let chunk = churn.len().div_ceil(CHURN_PUBLISHES.max(1));
 
@@ -254,7 +215,7 @@ fn run_stream(
             end += 1;
         }
         let report = service.answer_batch(&queries[next..end], threads);
-        let done = start + batch_service_us(&report, orchestrator.fat_tree().nodes());
+        let done = start + model.batch_service_us(&report);
         for &arrived in &arrivals_us[next..end] {
             outcome.sojourns_ms.push((done - arrived) / 1_000.0);
         }

@@ -7,12 +7,14 @@ pub mod appg_alltoall;
 pub mod appg_alltoall_fastswitch;
 pub mod ext_dcn_congestion;
 pub mod ext_failover_recovery;
+pub mod ext_fault_storms;
 pub mod ext_incremental_publish;
 pub mod ext_interference_vs_jobs;
 pub mod ext_lifecycle_churn;
 pub mod ext_lifecycle_faults;
 pub mod ext_lifecycle_slo;
 pub mod ext_multijob_interference;
+pub mod ext_overload_shedding;
 pub mod ext_pp_traffic;
 pub mod ext_replay_scale;
 pub mod ext_service_throughput;

@@ -168,6 +168,12 @@ pub fn all() -> &'static [Experiment] {
         ext_incremental_publish
             / "Service (ext)"
             / "Delta-published epochs: segment reuse and modeled publish latency vs churn rate",
+        ext_overload_shedding
+            / "Robustness (ext)"
+            / "Offered-load sweep past saturation: bounded p99 with admission control vs collapse",
+        ext_fault_storms
+            / "Robustness (ext)"
+            / "Correlated fault-storm sweep: degraded answers, breaker transitions and recovery",
         fig17d_aggregate_cost / "Economics (§6.4)" / "Normalized aggregate cost vs fault ratio",
         table6_cost_power / "Economics (§6.4)" / "Interconnect cost and power per GPU and per GBps",
         table7_waste_bound
@@ -193,7 +199,7 @@ mod tests {
     #[test]
     fn registry_has_all_experiments_with_unique_names() {
         let experiments = all();
-        assert_eq!(experiments.len(), 35);
+        assert_eq!(experiments.len(), 37);
         let mut names: Vec<&str> = experiments.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();

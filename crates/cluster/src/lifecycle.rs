@@ -237,6 +237,15 @@ pub struct LifecycleConfig {
     pub frag_probe_group: usize,
     /// K-hop reach of the fragmentation probe.
     pub frag_probe_k: usize,
+    /// Deterministic backoff applied to fault-triggered re-queues: after its
+    /// `n`-th fault-wait a job only becomes eligible for re-admission
+    /// `backoff.delay(n-1, job_index)` after the fault (a seeded, capped
+    /// exponential), instead of storming the scheduler on the very next
+    /// event. `None` keeps the legacy immediate-requeue behaviour
+    /// bit-for-bit. Initial admissions are never delayed, and an ineligible
+    /// job is invisible to the FIFO scan (it does not block jobs behind it)
+    /// until its retry instant.
+    pub retry_backoff: Option<hbd_types::BackoffSchedule>,
 }
 
 /// What happened to one job.
@@ -357,9 +366,16 @@ fn percentile_of(values: &[f64], q: f64) -> f64 {
 /// The discrete events of the lifecycle loop.
 enum Event {
     Arrival(usize),
-    Departure { job: usize, generation: u64 },
+    Departure {
+        job: usize,
+        generation: u64,
+    },
     NodeDown(NodeId),
     NodeUp(NodeId),
+    /// A backoff wake-up: the named job's re-admission hold has expired. The
+    /// event itself carries no state change — the admission scan at the loop
+    /// bottom picks the job up now that it is eligible again.
+    Retry(usize),
 }
 
 /// Per-job mutable state.
@@ -380,6 +396,9 @@ struct JobState {
     queued_since: f64,
     /// Failed admission attempts accumulated while queued.
     attempts: usize,
+    /// Earliest instant the admission scan may consider this job again
+    /// (backoff hold after a fault-triggered re-queue); 0.0 = no hold.
+    eligible_at: f64,
 }
 
 /// Per-ring-shape failover planner cache: the migration price of a fault on a
@@ -579,6 +598,11 @@ impl SimState<'_> {
     fn try_admit(&mut self, now: f64) {
         let candidates: Vec<usize> = self.pending.iter().copied().collect();
         for job in candidates {
+            if self.jobs[job].eligible_at > now {
+                // Still inside its backoff hold: invisible to the scan (it
+                // neither probes nor blocks FIFO), woken by its Retry event.
+                continue;
+            }
             let request = self.jobs[job].spec.request;
             match self.probe_placement(&request) {
                 Ok(scheme) => {
@@ -643,6 +667,17 @@ impl SimState<'_> {
                 state.record.fault_waits += 1;
                 state.record.status = JobStatus::Queued;
                 state.queued_since = now;
+                if let Some(backoff) = &self.config.retry_backoff {
+                    // The n-th fault-wait backs off with attempt index n-1,
+                    // keyed by the job index — deterministic and per-job
+                    // de-synchronised, so a storm's victims do not re-storm
+                    // the scheduler in lockstep.
+                    let hold = backoff
+                        .delay(state.record.fault_waits as u32 - 1, job as u64)
+                        .value();
+                    state.eligible_at = now + hold;
+                    self.queue.push(Seconds(now + hold), Event::Retry(job));
+                }
                 self.pending.insert(job);
             }
         }
@@ -789,6 +824,7 @@ pub fn simulate(
             placement: None,
             queued_since: arrival.at.value(),
             attempts: 0,
+            eligible_at: 0.0,
         });
         if arrival.at.value() <= horizon {
             state.queue.push(arrival.at, Event::Arrival(index));
@@ -842,6 +878,14 @@ pub fn simulate(
             Event::NodeUp(node) => {
                 state.ledger.repair(node);
                 state.sync_snapshot();
+            }
+            // A pure wake-up: the job's backoff hold has expired, and the
+            // admission scan below will now consider it again.
+            Event::Retry(job) => {
+                debug_assert!(
+                    state.jobs[job].eligible_at <= now,
+                    "a Retry event fired before its job's hold expired"
+                );
             }
         }
         state.try_admit(now);
@@ -920,6 +964,7 @@ mod tests {
             threads: 1,
             frag_probe_group: 4,
             frag_probe_k: 2,
+            retry_backoff: None,
         }
     }
 
@@ -1063,6 +1108,70 @@ mod tests {
         // Re-queued at t=100, re-admitted at the repair instant t=400.
         assert!((job.queue_wait.value() - 300.0).abs() < 1e-9);
         assert_eq!(job.fault_waits, 1);
+    }
+
+    #[test]
+    fn requeue_backoff_follows_the_exact_deterministic_timeline() {
+        let orch = orchestrator(32);
+        // The job owns the whole cluster, so each fault forces a re-queue
+        // (nowhere to migrate). Two fault/repair rounds on a node it owns.
+        let workload = Workload::from_arrivals(vec![arrival("full", 0.0, 32, 1000.0)]);
+        let victim = {
+            let scheme = orch
+                .orchestrate_par(&request(32), &topology::FaultSet::new(), 1)
+                .unwrap();
+            scheme.groups[0].nodes[0]
+        };
+        let round = |fault_at: f64, repair_at: f64| {
+            vec![
+                NodeEvent {
+                    at: Seconds(fault_at),
+                    node: victim,
+                    kind: NodeEventKind::Fault,
+                },
+                NodeEvent {
+                    at: Seconds(repair_at),
+                    node: victim,
+                    kind: NodeEventKind::Repair,
+                },
+            ]
+        };
+        let events: Vec<NodeEvent> = [round(100.0, 110.0), round(300.0, 310.0)].concat();
+
+        // Legacy behaviour: re-admitted at the repair instants.
+        let legacy = simulate(&orch, &workload, &events, &config(32)).unwrap();
+        assert!((legacy.jobs[0].queue_wait.value() - 20.0).abs() < 1e-9);
+
+        // Jitter 0 makes the capped exponential exact: holds of 64 s then
+        // 128 s. The repair (110 / 310) arrives *inside* each hold, so the
+        // re-admission waits for the Retry wake-up, not the repair.
+        let mut cfg = config(32);
+        cfg.retry_backoff = Some(hbd_types::BackoffSchedule {
+            base: Seconds(64.0),
+            factor: 2.0,
+            cap: Seconds(1000.0),
+            jitter: 0.0,
+            seed: 9,
+        });
+        let outcome = simulate(&orch, &workload, &events, &cfg).unwrap();
+        let job = &outcome.jobs[0];
+        assert_eq!(job.fault_waits, 2);
+        assert_eq!(outcome.migrations, 0);
+        // Exact timeline: placed at 0, service starts at 6 (base 2 +
+        // 8 groups x 0.5); fault 1 at 100 (94 s of progress) holds until
+        // 164; service resumes at 170; fault 2 at 300 (130 s more) holds
+        // 128 s until 428; service resumes at 434 and the remaining
+        // 1000 - 94 - 130 = 776 s complete at 1210.
+        assert_eq!(job.first_placed, Some(Seconds(0.0)));
+        assert!((job.queue_wait.value() - (64.0 + 128.0)).abs() < 1e-9);
+        assert_eq!(job.completed, Some(Seconds(1210.0)));
+        assert_eq!(outcome.placement_latencies, vec![6.0, 6.0, 6.0]);
+        assert_eq!(outcome.completed, 1);
+        assert_eq!(outcome.clock_rewinds, 0);
+
+        // Same inputs, same schedule: the backoff path is deterministic too.
+        let again = simulate(&orch, &workload, &events, &cfg).unwrap();
+        assert_eq!(outcome, again);
     }
 
     #[test]

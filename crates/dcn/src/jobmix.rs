@@ -136,6 +136,29 @@ impl ExclusionLedger {
         was_faulty
     }
 
+    /// Applies a burst of availability edges — `(node, down)` pairs, `down ==
+    /// true` meaning a fault and `false` a repair — and returns how many of
+    /// them actually changed node state (a double fault or a repair of a
+    /// healthy node is counted as absorbed, not an error). This is how
+    /// correlated fault storms (`fault::storm`) enter the ledger: a whole
+    /// blast-radius burst lands as one call, accumulates into one pending
+    /// [`SnapshotDelta`], and the caller decides when to publish.
+    pub fn apply_availability_burst<I>(&mut self, edges: I) -> usize
+    where
+        I: IntoIterator<Item = (NodeId, bool)>,
+    {
+        let mut changed = 0usize;
+        for (node, down) in edges {
+            let flipped = if down {
+                self.fault(node)
+            } else {
+                self.repair(node)
+            };
+            changed += usize::from(flipped);
+        }
+        changed
+    }
+
     /// Folds a placement into the exclusion set (the job starts running).
     /// The scheme's nodes must not already be placed — placements are
     /// disjoint by construction.
@@ -190,6 +213,16 @@ impl ExclusionLedger {
     /// exactly when a publish would be a no-op.
     pub fn pending_delta(&self) -> &SnapshotDelta {
         &self.pending
+    }
+
+    /// Takes the pending delta out of the ledger (leaving it empty), for
+    /// callers that schedule publishes themselves — e.g. a storm replay that
+    /// hands each delta to a modeled-time session instead of publishing to a
+    /// live store. The caller assumes responsibility for delivering the
+    /// delta; dropping it desynchronises ledger and store exactly as a lost
+    /// publish would.
+    pub fn take_pending_delta(&mut self) -> SnapshotDelta {
+        std::mem::take(&mut self.pending)
     }
 
     /// Publishes the current exclusion union *wholesale* as the next epoch of
@@ -408,6 +441,32 @@ mod tests {
         assert_eq!(ledger.excluded().len(), 1);
         ledger.repair(NodeId(4));
         assert_eq!(ledger.excluded().len(), 0);
+    }
+
+    #[test]
+    fn availability_bursts_land_as_one_pending_delta() {
+        let mut ledger = ExclusionLedger::new();
+        // A storm burst downs three nodes; the repeated edge is absorbed.
+        let changed = ledger.apply_availability_burst([
+            (NodeId(1), true),
+            (NodeId(2), true),
+            (NodeId(2), true),
+            (NodeId(9), true),
+        ]);
+        assert_eq!(changed, 3);
+        assert_eq!(ledger.faulty().len(), 3);
+        assert_eq!(ledger.pending_delta().faulted.len(), 3);
+        // The repair wave cancels the not-yet-published faults, so the
+        // pending delta collapses instead of growing.
+        let changed = ledger.apply_availability_burst([
+            (NodeId(1), false),
+            (NodeId(2), false),
+            (NodeId(7), false),
+        ]);
+        assert_eq!(changed, 2, "repairing a healthy node is absorbed");
+        assert_eq!(ledger.faulty().len(), 1);
+        assert_eq!(ledger.pending_delta().faulted.len(), 1);
+        assert!(ledger.pending_delta().released.is_empty());
     }
 
     /// Double-occupying a node breaks the placements-are-disjoint contract:

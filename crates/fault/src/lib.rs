@@ -21,7 +21,10 @@
 //! * [`montecarlo`] — the parallel Monte-Carlo fan-out over (ratio, trial)
 //!   shards with one deterministic RNG stream per shard,
 //! * [`sim_events`] — trace → fault/repair edge-stream adapters for the
-//!   control-plane discrete-event simulator (`control::sim`).
+//!   control-plane discrete-event simulator (`control::sim`),
+//! * [`storm`] — correlated fault storms: seeded blast-radius bursts keyed to
+//!   ToR / aggregation domains, for overload- and recovery-robustness
+//!   experiments.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +37,7 @@ pub mod model;
 pub mod montecarlo;
 pub mod sim_events;
 pub mod stats;
+pub mod storm;
 pub mod trace;
 
 pub use convert::convert_8gpu_to_4gpu;
@@ -44,4 +48,5 @@ pub use model::IidFaultModel;
 pub use montecarlo::{shards, sweep_means, Shard};
 pub use sim_events::{generate_events, trace_events, NodeEvent, NodeEventKind};
 pub use stats::{TraceStats, DAY_SECONDS};
+pub use storm::{generate_storms, StormBurst, StormConfig, StormSchedule};
 pub use trace::FaultTrace;

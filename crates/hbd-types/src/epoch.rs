@@ -19,7 +19,19 @@
 //! the lock at all.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, LockResult, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Unwraps a read-lock result, recovering the guard from a poisoned lock —
+/// the slot is always a complete `Arc`, never half-written, so the value
+/// under a poisoned lock is still coherent.
+fn read_or_recover<T>(result: LockResult<RwLockReadGuard<'_, T>>) -> RwLockReadGuard<'_, T> {
+    result.unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The write-lock counterpart of [`read_or_recover`].
+fn read_or_recover_mut<T>(result: LockResult<RwLockWriteGuard<'_, T>>) -> RwLockWriteGuard<'_, T> {
+    result.unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// A value paired with the monotonically increasing epoch at which it was
 /// published. Epoch 0 is the initial value passed to [`EpochCell::new`].
@@ -54,7 +66,12 @@ impl<T> EpochCell<T> {
     /// Returns the currently published value. The returned `Arc` pins that
     /// epoch's value for the caller regardless of later publishes.
     pub fn load(&self) -> Arc<Versioned<T>> {
-        Arc::clone(&self.slot.read().expect("no publisher panicked"))
+        // Publishers cannot poison the slot through the cell's own API
+        // (`publish_with` catches writer panics), but a reader must stay
+        // usable even if a lock is ever poisoned some other way: the slot
+        // always holds a complete `Arc`, so recovering the inner value is
+        // sound.
+        Arc::clone(&read_or_recover(self.slot.read()))
     }
 
     /// The epoch of the currently published value — a lock-free staleness
@@ -69,7 +86,7 @@ impl<T> EpochCell<T> {
     /// serialise on the slot's write lock, so epochs are strictly monotone and
     /// every published epoch carries exactly one value.
     pub fn publish(&self, value: T) -> u64 {
-        let mut slot = self.slot.write().expect("no publisher panicked");
+        let mut slot = read_or_recover_mut(self.slot.write());
         let epoch = slot.epoch + 1;
         *slot = Arc::new(Versioned { epoch, value });
         self.epoch.store(epoch, Ordering::Release);
@@ -83,9 +100,28 @@ impl<T> EpochCell<T> {
     /// typically clones the current value and applies a small edit, making
     /// the publish cost proportional to the delta rather than re-deriving
     /// the whole value outside the cell and racing other writers.
+    ///
+    /// # Panic safety
+    ///
+    /// A panic inside `f` is caught while the write lock is held, the lock is
+    /// released cleanly (no epoch is published, the current value stays
+    /// current) and the panic is then resumed on the caller's thread. The
+    /// cell stays fully readable and writable for everyone else — a crashing
+    /// writer must not take the whole store down with it. As a second line of
+    /// defence, [`load`](Self::load) and the publish paths also recover the
+    /// inner value from a poisoned lock (the slot itself is never left
+    /// half-written: the swap is a single `Arc` assignment performed only
+    /// after `f` returned normally).
     pub fn publish_with<F: FnOnce(&Versioned<T>) -> T>(&self, f: F) -> u64 {
-        let mut slot = self.slot.write().expect("no publisher panicked");
-        let value = f(&slot);
+        let mut slot = read_or_recover_mut(self.slot.write());
+        let value = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&slot))) {
+            Ok(value) => value,
+            Err(payload) => {
+                // Release the lock un-poisoned, then let the panic continue.
+                drop(slot);
+                std::panic::resume_unwind(payload);
+            }
+        };
         let epoch = slot.epoch + 1;
         *slot = Arc::new(Versioned { epoch, value });
         self.epoch.store(epoch, Ordering::Release);
@@ -135,6 +171,28 @@ mod tests {
         });
         let v = cell.load();
         assert_eq!((v.epoch, v.value), (200, 200));
+    }
+
+    #[test]
+    fn a_panicking_writer_closure_does_not_brick_the_cell() {
+        let cell = Arc::new(EpochCell::new(7u64));
+        // The writer panics mid-derive: no epoch must be published and the
+        // cell must stay readable and writable afterwards.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cell.publish_with(|_| panic!("writer bug"));
+        }));
+        assert!(result.is_err(), "the panic must propagate to the publisher");
+        assert_eq!(cell.epoch(), 0, "a failed derive publishes nothing");
+        let v = cell.load();
+        assert_eq!((v.epoch, v.value), (0, 7));
+        // Subsequent publishes work, including from another thread.
+        assert_eq!(cell.publish_with(|cur| cur.value + 1), 1);
+        std::thread::scope(|scope| {
+            let cell = Arc::clone(&cell);
+            scope.spawn(move || assert_eq!(cell.publish(99), 2));
+        });
+        let v = cell.load();
+        assert_eq!((v.epoch, v.value), (2, 99));
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod epoch;
 pub mod error;
 pub mod ids;
 pub mod par;
+pub mod robust;
 pub mod sim;
 pub mod units;
 
@@ -26,5 +27,6 @@ pub use epoch::{EpochCell, Versioned};
 pub use error::{HbdError, Result};
 pub use ids::{GpuId, LinkId, NodeId, SwitchId, ToRId, TrxId};
 pub use par::{par_map, par_map_range, par_map_seeded, stream_seed};
+pub use robust::{BackoffSchedule, BreakerConfig, BreakerState, CircuitBreaker};
 pub use sim::{EventQueue, SimClock};
 pub use units::{Bytes, Dollars, GBps, Gbps, Microseconds, Seconds, Watts};

@@ -24,6 +24,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
+pub mod client;
 pub mod dcn_free;
 pub mod deployment;
 pub mod fat_tree;
@@ -33,6 +35,14 @@ pub mod search;
 pub mod service;
 pub mod traffic;
 
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionStats, AnsweredQuery, Disposition, ShedPolicy,
+    ShedQuery, ShedReason, Ticket,
+};
+pub use client::{
+    ClientConfig, ClientOutcome, ClientQuery, ClientReport, RetryPolicy, RetryingClient,
+    StorePublish,
+};
 pub use dcn_free::orchestrate_dcn_free;
 pub use deployment::DeploymentStrategy;
 pub use fat_tree::{FatTreeOrchestrator, OrchestrationRequest, ScratchPatchStats};
@@ -40,7 +50,7 @@ pub use greedy::greedy_placement;
 pub use scheme::{PlacementScheme, TpGroup};
 pub use search::{max_orchestratable_job, MaxJobReport};
 pub use service::{
-    BatchReport, BatchStats, ClusterSnapshot, PatchTally, PlacementAnswer, PlacementQuery,
-    PlacementService, QueryCost, QueryKind, SnapshotDelta, SnapshotStore,
+    BatchReport, BatchStats, ClusterSnapshot, ModeledLatency, PatchTally, PlacementAnswer,
+    PlacementQuery, PlacementService, QueryCost, QueryKind, SnapshotDelta, SnapshotStore,
 };
 pub use traffic::{cross_tor_rate, TrafficModel};

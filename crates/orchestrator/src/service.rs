@@ -283,6 +283,68 @@ pub struct BatchReport {
     pub stats: BatchStats,
 }
 
+/// The deterministic modeled-latency pricing of a [`BatchReport`] — fixed
+/// per-probe / per-search / per-build terms dealt onto a fixed-width modeled
+/// lane pool, **never wall-clock**. This is the cost model the throughput
+/// and overload experiments (and the admission controller's saturation
+/// signal) share: shared scratch builds are serial (they gate the fan-out),
+/// then each query's cost lands round-robin on one of `lanes` modeled lanes
+/// and the batch completes when the longest lane does.
+///
+/// The lane width is part of the *model*, not of the execution: `--threads`
+/// changes how the real computation fans out, while the modeled numbers
+/// depend only on the (thread-invariant) cost counters, so every priced
+/// latency is bit-stable in the seed and invariant in the thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModeledLatency {
+    /// Flat modeled dispatch overhead per query, in microseconds.
+    pub query_overhead_us: f64,
+    /// Modeled cost of one constraint-placement probe (`Place` / `WhatIf`).
+    pub probe_us: f64,
+    /// Modeled cost of one max-job feasibility search.
+    pub search_us: f64,
+    /// Modeled cost of one scratch build (shared or private).
+    pub build_us: f64,
+    /// Width of the modeled worker pool a batch fans out over.
+    pub lanes: usize,
+}
+
+impl ModeledLatency {
+    /// The workspace-standard pricing for an `nodes`-node snapshot: 5 µs
+    /// per-query overhead, probe/search/build terms linear in cluster size,
+    /// eight modeled lanes — exactly the constants the
+    /// `ext_service_throughput` experiment has always used.
+    pub fn for_cluster(nodes: usize) -> Self {
+        ModeledLatency {
+            query_overhead_us: 5.0,
+            probe_us: 0.02 * nodes as f64,
+            search_us: 0.10 * nodes as f64,
+            build_us: 0.08 * nodes as f64,
+            lanes: 8,
+        }
+    }
+
+    /// The modeled service time of one answered batch, in microseconds.
+    pub fn batch_service_us(&self, report: &BatchReport) -> f64 {
+        let mut lanes = vec![0.0f64; self.lanes.max(1)];
+        let width = lanes.len();
+        for (i, cost) in report.costs.iter().enumerate() {
+            let per_probe = match cost.kind {
+                QueryKind::MaxJob => self.search_us,
+                QueryKind::Place | QueryKind::WhatIf => self.probe_us,
+            };
+            let private = if cost.private_scratch {
+                self.build_us
+            } else {
+                0.0
+            };
+            lanes[i % width] += self.query_overhead_us + private + cost.probes as f64 * per_probe;
+        }
+        let slowest_lane = lanes.iter().copied().fold(0.0f64, f64::max);
+        report.stats.shared_scratch_builds as f64 * self.build_us + slowest_lane
+    }
+}
+
 /// Cumulative incremental-publish accounting of one [`PlacementService`]:
 /// how its shared scratches were materialized across epochs, and what the
 /// patched ones re-orchestrated versus carried over.

@@ -97,6 +97,24 @@ echo "==> incremental-publish smoke gate"
 cargo run --release --bin experiments -- \
   --only ext_incremental_publish --scale 0.05 --threads 2 > /dev/null
 
+echo "==> overload-shedding smoke gate"
+# Drives the offered-load sweep past saturation at smoke scale across a
+# multi-threaded fan-out. The load points self-calibrate against a
+# back-to-back run, so this gate keeps working as the modeled cost model
+# evolves; the bounded-p99-vs-collapse acceptance criterion itself is pinned
+# by the experiment's unit test, and seed/thread bit-stability by
+# tests/integration_determinism.rs.
+cargo run --release --bin experiments -- \
+  --only ext_overload_shedding --scale 0.05 --threads 2 > /dev/null
+
+echo "==> fault-storm survival smoke gate"
+# Replays the correlated fault-storm sweep (storm generator -> ledger deltas
+# -> retrying breaker-guarded client) at smoke scale; conservation of query
+# outcomes is pinned by the experiment's unit test and the admission oracle
+# proptests, and seed/thread bit-stability by tests/integration_determinism.rs.
+cargo run --release --bin experiments -- \
+  --only ext_fault_storms --scale 0.05 --threads 2 > /dev/null
+
 echo "==> control-plane sim seed replay gate"
 # Replays the two regression seeds pinned in crates/control/src/sim.rs
 # through the public CLI: the driver exits non-zero if the run misses

@@ -4,14 +4,17 @@
 //! `benchmark_group` / `bench_function` / `bench_with_input`, `BenchmarkId`,
 //! `black_box`, `criterion_group!` and `criterion_main!` — with a simple
 //! wall-clock measurement loop (warm-up, then a fixed sample budget, report
-//! the mean and minimum). No statistics, no HTML reports, but benches stay
-//! runnable and comparable between commits on the same machine.
+//! the mean, minimum and the p50/p99 nearest-rank percentiles). No
+//! regression statistics, no HTML reports, but benches stay runnable and
+//! comparable between commits on the same machine, and the percentiles give
+//! the tail-latency signal the overload experiments gate on.
 //!
 //! Two environment variables integrate the shim with the experiment harness:
 //!
 //! * `CRITERION_JSON=<path>` — append one JSON object per benchmark
-//!   (`{"bench", "mean_ns", "min_ns", "samples"}`) to `<path>`, which the
-//!   `experiments` driver folds into `bench_results.json` via `--bench-json`;
+//!   (`{"bench", "mean_ns", "min_ns", "p50_ns", "p99_ns", "samples"}`) to
+//!   `<path>`, which the `experiments` driver folds into
+//!   `bench_results.json` via `--bench-json`;
 //! * `CRITERION_SAMPLES=<n>` — override every benchmark's sample budget
 //!   (used by CI to keep the `cargo bench` pass cheap).
 
@@ -62,6 +65,13 @@ impl Throughput {
     }
 }
 
+/// Nearest-rank percentile of an ascending-sorted sample list.
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
 fn report(label: &str, samples: &[Duration], throughput: Option<Throughput>) {
     if samples.is_empty() {
         println!("{label:<48} (no samples)");
@@ -70,6 +80,10 @@ fn report(label: &str, samples: &[Duration], throughput: Option<Throughput>) {
     let total: Duration = samples.iter().sum();
     let mean = total / samples.len() as u32;
     let min = samples.iter().min().copied().unwrap_or_default();
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let p50 = percentile(&sorted, 0.50);
+    let p99 = percentile(&sorted, 0.99);
     // A mean below the timer resolution would divide to infinity and poison
     // the JSON record; such benchmarks simply report no throughput.
     let rate = throughput.filter(|_| mean.as_secs_f64() > 0.0).map(|t| {
@@ -78,15 +92,15 @@ fn report(label: &str, samples: &[Duration], throughput: Option<Throughput>) {
     });
     match rate {
         Some((unit, per_sec)) => println!(
-            "{label:<48} mean {mean:>12?}   min {min:>12?}   {per_sec:>12.0} {unit}/s   ({} samples)",
+            "{label:<48} mean {mean:>12?}   min {min:>12?}   p50 {p50:>12?}   p99 {p99:>12?}   {per_sec:>12.0} {unit}/s   ({} samples)",
             samples.len()
         ),
         None => println!(
-            "{label:<48} mean {mean:>12?}   min {min:>12?}   ({} samples)",
+            "{label:<48} mean {mean:>12?}   min {min:>12?}   p50 {p50:>12?}   p99 {p99:>12?}   ({} samples)",
             samples.len()
         ),
     }
-    append_json_record(label, samples, mean, min, rate);
+    append_json_record(label, samples, mean, min, p50, p99, rate);
 }
 
 /// With `CRITERION_JSON=<path>` set, appends one JSON-lines record per
@@ -99,6 +113,8 @@ fn append_json_record(
     samples: &[Duration],
     mean: Duration,
     min: Duration,
+    p50: Duration,
+    p99: Duration,
     rate: Option<(&'static str, f64)>,
 ) {
     let Ok(path) = std::env::var("CRITERION_JSON") else {
@@ -113,10 +129,12 @@ fn append_json_record(
         })
         .unwrap_or_default();
     let record = format!(
-        "{{\"bench\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"samples\": {}{}}}\n",
+        "{{\"bench\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"samples\": {}{}}}\n",
         json_escape(label),
         mean.as_nanos(),
         min.as_nanos(),
+        p50.as_nanos(),
+        p99.as_nanos(),
         samples.len(),
         throughput
     );
